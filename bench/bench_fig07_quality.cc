@@ -1,0 +1,52 @@
+// Figure 7: improvement in response quality, Facebook workload.
+//
+//  (a) Deployment: the paper's Spark cluster (80 machines x 4 slots = 320
+//      process slots, fanout 20 x 16). Reproduced on the slot-scheduled
+//      ClusterRuntime. Paper improvements: 10-197% across deadlines.
+//  (b) Simulation: fanout 50 x 50 (2500 processes). Paper improvements:
+//      11-100%, with Cedar closely matching Ideal.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/flags.h"
+#include "src/core/policies.h"
+#include "src/trace/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace cedar;
+  FlagSet flags("Figure 7: Cedar vs Proportional-split vs Ideal, Facebook workload.");
+  int64_t* queries = flags.AddInt("queries", 100, "queries per deadline");
+  int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  flags.Parse(argc, argv);
+
+  ProportionalSplitPolicy prop_split;
+  CedarPolicy cedar;
+  OraclePolicy ideal;
+  std::vector<double> deadlines = {500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0};
+
+  {
+    // (a) Deployment analogue: 320 slots, fanout 20 x 16 = 320 processes.
+    auto workload = MakeFacebookWorkload(20, 16);
+    ClusterSweepOptions options;
+    options.cluster.machines = 80;
+    options.cluster.slots_per_machine = 4;
+    options.num_queries = static_cast<int>(*queries);
+    options.seed = static_cast<uint64_t>(*seed);
+    options.baseline = prop_split.name();
+    RunClusterDeadlineSweep(std::cout,
+                            "Figure 7a (deployment): 320-slot cluster engine, fanout 20x16",
+                            workload, {&prop_split, &cedar, &ideal}, deadlines, options);
+  }
+  {
+    // (b) Simulation: fanout 50 x 50.
+    auto workload = MakeFacebookWorkload(50, 50);
+    SweepOptions options;
+    options.num_queries = static_cast<int>(*queries);
+    options.seed = static_cast<uint64_t>(*seed);
+    options.baseline = prop_split.name();
+    RunDeadlineSweep(std::cout, "Figure 7b (simulation): fanout 50x50 (2500 processes)",
+                     workload, {&prop_split, &cedar, &ideal}, deadlines, options);
+  }
+  return 0;
+}

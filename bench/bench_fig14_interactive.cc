@@ -1,0 +1,35 @@
+// Figure 14: interactive workload — Facebook's map distribution expressed
+// in milliseconds at the bottom, Google's distribution on top, deadlines
+// 140-170 ms (quoted production search deadlines). The paper reports Cedar
+// improvements of 36-72% over Proportional-split, nearly matching Ideal.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/flags.h"
+#include "src/core/policies.h"
+#include "src/trace/workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace cedar;
+  FlagSet flags("Figure 14: interactive workload (FB map in ms + Google upper).");
+  int64_t* queries = flags.AddInt("queries", 150, "queries per deadline");
+  int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  flags.Parse(argc, argv);
+
+  auto workload = MakeInteractiveWorkload(50, 50);
+  ProportionalSplitPolicy prop_split;
+  CedarPolicy cedar;
+  OraclePolicy ideal;
+
+  SweepOptions options;
+  options.num_queries = static_cast<int>(*queries);
+  options.seed = static_cast<uint64_t>(*seed);
+  options.baseline = prop_split.name();
+
+  RunDeadlineSweep(std::cout,
+                   "Figure 14: interactive workload, deadlines 140-170 ms (fanout 50x50)",
+                   workload, {&prop_split, &cedar, &ideal},
+                   {140.0, 145.0, 150.0, 155.0, 160.0, 165.0, 170.0}, options);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 16: same distribution at both stages, sweeping the sigma parameter
+// of X1 (the paper's x-axes): (a) Bing (mu=5.9, sigma2=1.25, us), sigma1 in
+// 2.10-2.40; (b) Google (mu=2.94, sigma2=0.55, ms), sigma1 in 1.40-1.70;
+// (c) Facebook (mu=2.77, sigma2=0.84, s), sigma1 in 2.00-2.25. Gains grow
+// with the variability of the bottom stage, and Cedar tracks Ideal.
+//
+// The paper does not state the deadlines used; we pick, per trace, a
+// deadline that puts the baseline in the same mid-quality regime the
+// paper's improvement magnitudes imply.
+
+#include <functional>
+#include <iostream>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/core/policies.h"
+#include "src/sim/experiment.h"
+#include "src/trace/workloads.h"
+
+namespace {
+
+void SweepSigma(std::ostream& out, const std::string& title,
+                const std::function<cedar::MetaLogNormalWorkload(double)>& make_workload,
+                const std::vector<double>& sigmas, double deadline, const std::string& unit,
+                int queries, uint64_t seed) {
+  using namespace cedar;
+  PrintBanner(out, title + " (deadline " + TablePrinter::FormatDouble(deadline, 0) + " " +
+                       unit + ")");
+  TablePrinter table(
+      {"sigma1", "q(prop-split)", "q(cedar)", "q(ideal)", "impr(cedar)_%", "impr(ideal)_%"});
+  for (double sigma1 : sigmas) {
+    auto workload = make_workload(sigma1);
+    ProportionalSplitPolicy prop_split;
+    CedarPolicy cedar;
+    OraclePolicy ideal;
+    ExperimentConfig config;
+    config.deadline = deadline;
+    config.num_queries = queries;
+    config.seed = seed;
+    auto result = RunExperiment(workload, {&prop_split, &cedar, &ideal}, config);
+    double base = result.Outcome("prop-split").MeanQuality();
+    double cq = result.Outcome("cedar").MeanQuality();
+    double iq = result.Outcome("ideal").MeanQuality();
+    table.AddRow({TablePrinter::FormatDouble(sigma1, 2), TablePrinter::FormatDouble(base, 3),
+                  TablePrinter::FormatDouble(cq, 3), TablePrinter::FormatDouble(iq, 3),
+                  TablePrinter::FormatDouble(base > 0 ? 100.0 * (cq - base) / base : 0.0, 1),
+                  TablePrinter::FormatDouble(base > 0 ? 100.0 * (iq - base) / base : 0.0, 1)});
+  }
+  table.Print(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cedar;
+  FlagSet flags("Figure 16: gains vs sigma of X1 for Bing/Google/Facebook distributions.");
+  int64_t* queries = flags.AddInt("queries", 100, "queries per point");
+  int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  flags.Parse(argc, argv);
+
+  int n = static_cast<int>(*queries);
+  auto s = static_cast<uint64_t>(*seed);
+
+  SweepSigma(std::cout, "Figure 16a: Bing-Bing (mu=5.9, sigma2=1.25, microseconds)",
+             [](double sigma1) { return MakeBingSigmaWorkload(sigma1); },
+             {2.10, 2.15, 2.20, 2.25, 2.30, 2.35, 2.40}, 4000.0, "us", n, s);
+
+  SweepSigma(std::cout, "Figure 16b: Google-Google (mu=2.94, sigma2=0.55, milliseconds)",
+             [](double sigma1) { return MakeGoogleSigmaWorkload(sigma1); },
+             {1.40, 1.45, 1.50, 1.55, 1.60, 1.65, 1.70}, 150.0, "ms", n, s);
+
+  SweepSigma(std::cout, "Figure 16c: Facebook-Facebook (mu=2.77, sigma2=0.84, seconds)",
+             [](double sigma1) { return MakeFacebookSigmaWorkload(sigma1); },
+             {2.00, 2.05, 2.10, 2.15, 2.20, 2.25}, 250.0, "s", n, s);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Microbenchmarks for the CalculateWait machinery (§5.2 claims Cedar's
+// algorithm completes "within tens of milliseconds even without
+// parallelization"): OptimizeWait at several scan resolutions, quality-curve
+// construction, and full tree planning.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/quality.h"
+#include "src/core/wait_optimizer.h"
+#include "src/core/wait_table.h"
+#include "src/trace/calibration.h"
+
+namespace cedar {
+namespace {
+
+TreeSpec BenchTree(int levels = 2) {
+  std::vector<StageSpec> stages;
+  stages.emplace_back(std::make_shared<LogNormalDistribution>(kFacebookMapMu, kFacebookMapSigma),
+                      50);
+  for (int i = 1; i < levels; ++i) {
+    stages.emplace_back(std::make_shared<LogNormalDistribution>(3.25, kFacebookReduceSigma), 50);
+  }
+  return TreeSpec(std::move(stages));
+}
+
+void BM_OptimizeWait(benchmark::State& state) {
+  TreeSpec tree = BenchTree();
+  const double deadline = 1000.0;
+  auto upper = TabulateCdf(*tree.stage(1).duration, deadline, 401);
+  double epsilon = deadline / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    WaitDecision decision =
+        OptimizeWait(*tree.stage(0).duration, 50, upper, deadline, epsilon);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetLabel("scan_steps=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_OptimizeWait)->Arg(100)->Arg(400)->Arg(1000)->Arg(4000);
+
+void BM_BuildQualityCurve(benchmark::State& state) {
+  TreeSpec tree = BenchTree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto curve = BuildQualityCurve(tree, 0, 1000.0);
+    benchmark::DoNotOptimize(curve);
+  }
+  state.SetLabel("levels=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_BuildQualityCurve)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_PlanTree(benchmark::State& state) {
+  TreeSpec tree = BenchTree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TreePlan plan = PlanTree(tree, 1000.0);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetLabel("levels=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PlanTree)->Arg(2)->Arg(3);
+
+void BM_OptimizeWaitParallel(benchmark::State& state) {
+  TreeSpec tree = BenchTree();
+  const double deadline = 1000.0;
+  auto upper = TabulateCdf(*tree.stage(1).duration, deadline, 401);
+  double epsilon = deadline / 4000.0;  // a fine scan, where threads pay off
+  int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WaitDecision decision =
+        OptimizeWaitParallel(*tree.stage(0).duration, 50, upper, deadline, epsilon, threads);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetLabel("threads=" + std::to_string(threads) + " scan_steps=4000");
+}
+BENCHMARK(BM_OptimizeWaitParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_WaitTableBuild(benchmark::State& state) {
+  TreeSpec tree = BenchTree();
+  const double deadline = 1000.0;
+  auto upper = TabulateCdf(*tree.stage(1).duration, deadline, 401);
+  WaitTableSpec spec;
+  spec.location_min = 0.0;
+  spec.location_max = 10.0;
+  spec.location_points = static_cast<int>(state.range(0));
+  spec.scale_min = 0.1;
+  spec.scale_max = 2.5;
+  spec.scale_points = 17;
+  for (auto _ : state) {
+    WaitTable table(spec, 50, upper, deadline, deadline / 400.0);
+    benchmark::DoNotOptimize(table.Lookup(3.0, 0.8));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "x17 grid (offline, one-off)");
+}
+BENCHMARK(BM_WaitTableBuild)->Arg(17)->Arg(41);
+
+void BM_WaitTableLookup(benchmark::State& state) {
+  TreeSpec tree = BenchTree();
+  const double deadline = 1000.0;
+  auto upper = TabulateCdf(*tree.stage(1).duration, deadline, 401);
+  WaitTableSpec spec;
+  spec.location_min = 0.0;
+  spec.location_max = 10.0;
+  spec.location_points = 41;
+  spec.scale_min = 0.1;
+  spec.scale_max = 2.5;
+  spec.scale_points = 17;
+  WaitTable table(spec, 50, upper, deadline, deadline / 400.0);
+  double mu = 2.0;
+  for (auto _ : state) {
+    mu = 2.0 + (mu > 6.0 ? -4.0 : 1e-4);  // vary the query point slightly
+    benchmark::DoNotOptimize(table.Lookup(mu, 0.83));
+  }
+  state.SetLabel("the online fast path vs a full scan");
+}
+BENCHMARK(BM_WaitTableLookup);
+
+}  // namespace
+}  // namespace cedar
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+#include "bench/bench_util.h"
+
+#include <ostream>
+
+#include "src/common/logging.h"
+#include "src/common/table.h"
+
+namespace cedar {
+namespace {
+
+std::vector<std::string> SweepColumns(const std::vector<const WaitPolicy*>& policies,
+                                      const std::string& baseline, const std::string& unit) {
+  std::vector<std::string> columns = {"deadline_" + unit};
+  for (const auto* policy : policies) {
+    columns.push_back("q(" + policy->name() + ")");
+  }
+  for (const auto* policy : policies) {
+    if (policy->name() != baseline) {
+      columns.push_back("impr(" + policy->name() + ")_%");
+    }
+  }
+  return columns;
+}
+
+std::vector<std::string> SweepRow(double deadline,
+                                  const std::vector<const WaitPolicy*>& policies,
+                                  const std::string& baseline,
+                                  const std::function<double(const std::string&)>& quality_of) {
+  std::vector<std::string> row = {TablePrinter::FormatDouble(deadline, 0)};
+  for (const auto* policy : policies) {
+    row.push_back(TablePrinter::FormatDouble(quality_of(policy->name()), 3));
+  }
+  double base_quality = quality_of(baseline);
+  for (const auto* policy : policies) {
+    if (policy->name() != baseline) {
+      double improvement = base_quality > 0.0
+                               ? 100.0 * (quality_of(policy->name()) - base_quality) / base_quality
+                               : 0.0;
+      row.push_back(TablePrinter::FormatDouble(improvement, 1));
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+void RunDeadlineSweep(std::ostream& out, const std::string& title, const Workload& workload,
+                      const std::vector<const WaitPolicy*>& policies,
+                      const std::vector<double>& deadlines, const SweepOptions& options) {
+  CEDAR_CHECK(!policies.empty());
+  std::string baseline = options.baseline.empty() ? policies.front()->name() : options.baseline;
+
+  PrintBanner(out, title);
+  out << "workload=" << workload.name() << " unit=" << workload.time_unit()
+      << " queries=" << options.num_queries << " seed=" << options.seed << "\n";
+
+  TablePrinter table(SweepColumns(policies, baseline, workload.time_unit()));
+  for (double deadline : deadlines) {
+    ExperimentConfig config;
+    config.deadline = deadline;
+    config.num_queries = options.num_queries;
+    config.seed = options.seed;
+    config.sim = options.sim;
+    ExperimentResult result = RunExperiment(workload, policies, config);
+    table.AddRow(SweepRow(deadline, policies, baseline, [&](const std::string& name) {
+      return result.Outcome(name).MeanQuality();
+    }));
+  }
+  table.Print(out);
+}
+
+void RunClusterDeadlineSweep(std::ostream& out, const std::string& title,
+                             const Workload& workload,
+                             const std::vector<const WaitPolicy*>& policies,
+                             const std::vector<double>& deadlines,
+                             const ClusterSweepOptions& options) {
+  CEDAR_CHECK(!policies.empty());
+  std::string baseline = options.baseline.empty() ? policies.front()->name() : options.baseline;
+
+  PrintBanner(out, title);
+  out << "workload=" << workload.name() << " unit=" << workload.time_unit()
+      << " cluster=" << options.cluster.machines << "x" << options.cluster.slots_per_machine
+      << " slots, queries=" << options.num_queries << " seed=" << options.seed << "\n";
+
+  TablePrinter table(SweepColumns(policies, baseline, workload.time_unit()));
+  for (double deadline : deadlines) {
+    ClusterExperimentConfig config;
+    config.cluster = options.cluster;
+    config.deadline = deadline;
+    config.num_queries = options.num_queries;
+    config.seed = options.seed;
+    config.run = options.run;
+    ClusterExperimentResult result = RunClusterExperiment(workload, policies, config);
+    table.AddRow(SweepRow(deadline, policies, baseline, [&](const std::string& name) {
+      return result.Outcome(name).MeanQuality();
+    }));
+  }
+  table.Print(out);
+}
+
+}  // namespace cedar

@@ -1,0 +1,52 @@
+// Shared plumbing for the figure-reproduction harnesses: deadline sweeps
+// over a workload under several policies, printed as aligned tables with
+// improvement columns, for both the analytic simulator and the cluster
+// engine.
+
+#ifndef CEDAR_BENCH_BENCH_UTIL_H_
+#define CEDAR_BENCH_BENCH_UTIL_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/cluster/experiment.h"
+#include "src/core/policy.h"
+#include "src/sim/experiment.h"
+#include "src/sim/workload.h"
+
+namespace cedar {
+
+struct SweepOptions {
+  int num_queries = 100;
+  uint64_t seed = 42;
+  // Name of the policy used as the improvement baseline ("" = first).
+  std::string baseline;
+  TreeSimulationOptions sim;
+};
+
+// Runs |workload| under |policies| for every deadline and prints one row per
+// deadline: avg quality per policy plus percentage improvement of each
+// non-baseline policy over the baseline.
+void RunDeadlineSweep(std::ostream& out, const std::string& title, const Workload& workload,
+                      const std::vector<const WaitPolicy*>& policies,
+                      const std::vector<double>& deadlines, const SweepOptions& options);
+
+struct ClusterSweepOptions {
+  ClusterSpec cluster;
+  int num_queries = 100;
+  uint64_t seed = 42;
+  std::string baseline;
+  ClusterRunOptions run;
+};
+
+// Same, on the slot-scheduled cluster engine (the deployment substitute).
+void RunClusterDeadlineSweep(std::ostream& out, const std::string& title,
+                             const Workload& workload,
+                             const std::vector<const WaitPolicy*>& policies,
+                             const std::vector<double>& deadlines,
+                             const ClusterSweepOptions& options);
+
+}  // namespace cedar
+
+#endif  // CEDAR_BENCH_BENCH_UTIL_H_

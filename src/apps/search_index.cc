@@ -1,0 +1,172 @@
+#include "src/apps/search_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace cedar {
+namespace {
+
+// Samples a Zipf(exponent)-distributed rank in [0, n) by inverse transform
+// over precomputed cumulative weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double exponent) : cumulative_(static_cast<size_t>(n)) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cumulative_[static_cast<size_t>(i)] = total;
+    }
+    for (auto& c : cumulative_) {
+      c /= total;
+    }
+  }
+
+  int Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    if (it == cumulative_.end()) {
+      return static_cast<int>(cumulative_.size()) - 1;
+    }
+    return static_cast<int>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+bool HitLess(const SearchHit& a, const SearchHit& b) {
+  if (a.score != b.score) {
+    return a.score > b.score;  // higher scores first
+  }
+  return a.doc_id < b.doc_id;  // deterministic ties
+}
+
+}  // namespace
+
+SearchIndex::SearchIndex(const CorpusSpec& spec, int num_shards) : spec_(spec) {
+  CEDAR_CHECK_GE(num_shards, 1);
+  CEDAR_CHECK_GE(spec.num_documents, num_shards);
+  CEDAR_CHECK_GE(spec.vocabulary_size, 2);
+  shards_.resize(static_cast<size_t>(num_shards));
+  document_frequency_.assign(static_cast<size_t>(spec.vocabulary_size), 0);
+
+  Rng rng(spec.seed);
+  ZipfSampler zipf(spec.vocabulary_size, spec.zipf_exponent);
+  std::unordered_map<int, int32_t> term_counts;
+  for (int64_t doc = 0; doc < spec.num_documents; ++doc) {
+    term_counts.clear();
+    for (int t = 0; t < spec.terms_per_document; ++t) {
+      ++term_counts[zipf.Sample(rng)];
+    }
+    SearchShard& shard = shards_[static_cast<size_t>(doc % num_shards)];
+    auto position = static_cast<int32_t>(shard.doc_ids_.size());
+    shard.doc_ids_.push_back(doc);
+    for (const auto& [term, tf] : term_counts) {
+      shard.postings_[term].emplace_back(position, tf);
+      ++document_frequency_[static_cast<size_t>(term)];
+    }
+  }
+}
+
+const SearchShard& SearchIndex::shard(int i) const {
+  CEDAR_CHECK(i >= 0 && i < num_shards());
+  return shards_[static_cast<size_t>(i)];
+}
+
+std::vector<int> SearchIndex::SampleQuery(int terms, Rng& rng) const {
+  CEDAR_CHECK_GE(terms, 1);
+  CEDAR_CHECK_LE(terms, spec_.vocabulary_size);
+  ZipfSampler zipf(spec_.vocabulary_size, spec_.zipf_exponent);
+  std::set<int> picked;
+  while (static_cast<int>(picked.size()) < terms) {
+    picked.insert(zipf.Sample(rng));
+  }
+  return {picked.begin(), picked.end()};
+}
+
+double SearchIndex::Idf(int term) const {
+  CEDAR_CHECK(term >= 0 && term < spec_.vocabulary_size);
+  double df = static_cast<double>(document_frequency_[static_cast<size_t>(term)]);
+  // Smoothed idf; strictly positive even for terms in every document.
+  return std::log((static_cast<double>(spec_.num_documents) + 1.0) / (df + 1.0)) + 1e-6;
+}
+
+std::vector<SearchHit> SearchIndex::ExactTopK(const std::vector<int>& query, int k) const {
+  std::vector<std::vector<SearchHit>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    per_shard.push_back(shard.TopK(query, k, *this));
+  }
+  return MergeTopK(per_shard, k);
+}
+
+std::vector<SearchHit> SearchShard::TopK(const std::vector<int>& query, int k,
+                                         const SearchIndex& index) const {
+  CEDAR_CHECK_GE(k, 1);
+  std::unordered_map<int32_t, double> scores;
+  for (int term : query) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) {
+      continue;
+    }
+    double idf = index.Idf(term);
+    for (const auto& [position, tf] : it->second) {
+      scores[position] += static_cast<double>(tf) * idf;
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [position, score] : scores) {
+    hits.push_back({doc_ids_[static_cast<size_t>(position)], score});
+  }
+  std::sort(hits.begin(), hits.end(), HitLess);
+  if (static_cast<int>(hits.size()) > k) {
+    hits.resize(static_cast<size_t>(k));
+  }
+  return hits;
+}
+
+std::vector<SearchHit> MergeTopK(const std::vector<std::vector<SearchHit>>& lists, int k) {
+  CEDAR_CHECK_GE(k, 1);
+  std::unordered_map<int64_t, double> best;
+  for (const auto& list : lists) {
+    for (const auto& hit : list) {
+      auto [it, inserted] = best.emplace(hit.doc_id, hit.score);
+      if (!inserted && hit.score > it->second) {
+        it->second = hit.score;
+      }
+    }
+  }
+  std::vector<SearchHit> merged;
+  merged.reserve(best.size());
+  for (const auto& [doc_id, score] : best) {
+    merged.push_back({doc_id, score});
+  }
+  std::sort(merged.begin(), merged.end(), HitLess);
+  if (static_cast<int>(merged.size()) > k) {
+    merged.resize(static_cast<size_t>(k));
+  }
+  return merged;
+}
+
+double RecallAtK(const std::vector<SearchHit>& exact, const std::vector<SearchHit>& approx) {
+  if (exact.empty()) {
+    return 1.0;
+  }
+  std::set<int64_t> approx_ids;
+  for (const auto& hit : approx) {
+    approx_ids.insert(hit.doc_id);
+  }
+  int found = 0;
+  for (const auto& hit : exact) {
+    if (approx_ids.count(hit.doc_id) > 0) {
+      ++found;
+    }
+  }
+  return static_cast<double>(found) / static_cast<double>(exact.size());
+}
+
+}  // namespace cedar

@@ -1,0 +1,96 @@
+// A miniature sharded web-search backend (§2.1, Figure 2): synthetic
+// corpus, inverted index partitioned across shards, tf-idf scoring, and
+// top-K merging. This is the application layer the paper motivates Cedar
+// with — and the substrate for its future-work question of output
+// *relevance*: with ranked results, response quality becomes recall of the
+// true top-K, not just the fraction of shards heard from.
+
+#ifndef CEDAR_SRC_APPS_SEARCH_INDEX_H_
+#define CEDAR_SRC_APPS_SEARCH_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/stats/rng.h"
+
+namespace cedar {
+
+// One scored hit.
+struct SearchHit {
+  int64_t doc_id = 0;
+  double score = 0.0;
+};
+
+// Synthetic corpus: documents are bags of term ids drawn from a Zipf
+// vocabulary (frequent terms appear in many documents, rare terms are
+// selective, as in real text).
+struct CorpusSpec {
+  int64_t num_documents = 10000;
+  int vocabulary_size = 2000;
+  int terms_per_document = 40;
+  double zipf_exponent = 1.1;
+  uint64_t seed = 1;
+};
+
+class SearchShard;
+
+// An inverted index over a synthetic corpus, partitioned round-robin across
+// |num_shards| shards. Immutable after construction.
+class SearchIndex {
+ public:
+  SearchIndex(const CorpusSpec& spec, int num_shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const SearchShard& shard(int i) const;
+  int64_t num_documents() const { return spec_.num_documents; }
+
+  // Draws a query of |terms| distinct term ids (Zipf-weighted, like user
+  // queries).
+  std::vector<int> SampleQuery(int terms, Rng& rng) const;
+
+  // Ground truth: the exact top-|k| over the whole corpus (all shards,
+  // no deadline). Ties broken by doc id for determinism.
+  std::vector<SearchHit> ExactTopK(const std::vector<int>& query, int k) const;
+
+  // Inverse document frequency of |term| over the whole corpus (shards
+  // score with the global idf, as real engines distribute it).
+  double Idf(int term) const;
+
+ private:
+  CorpusSpec spec_;
+  std::vector<SearchShard> shards_;
+  std::vector<int64_t> document_frequency_;  // per term, corpus-wide
+};
+
+// One shard: posting lists for its document subset.
+class SearchShard {
+ public:
+  // Scores the shard's documents for |query| using tf * idf (idf supplied
+  // by the owning index) and returns its local top-|k| (score desc, doc id
+  // asc on ties).
+  std::vector<SearchHit> TopK(const std::vector<int>& query, int k,
+                              const SearchIndex& index) const;
+
+  int64_t num_documents() const { return static_cast<int64_t>(doc_ids_.size()); }
+
+ private:
+  friend class SearchIndex;
+
+  // term -> list of (position into doc_ids_, term frequency).
+  std::unordered_map<int, std::vector<std::pair<int32_t, int32_t>>> postings_;
+  std::vector<int64_t> doc_ids_;
+};
+
+// Merges ranked lists into a single top-|k| (the aggregator operation of
+// Figure 2). Duplicate doc ids keep their maximum score.
+std::vector<SearchHit> MergeTopK(const std::vector<std::vector<SearchHit>>& lists, int k);
+
+// recall@k of |approx| against ground truth |exact|: fraction of exact's
+// doc ids present in approx.
+double RecallAtK(const std::vector<SearchHit>& exact, const std::vector<SearchHit>& approx);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_APPS_SEARCH_INDEX_H_

@@ -1,0 +1,294 @@
+#include "src/cluster/cluster_runtime.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/sim/aggregator_node.h"
+#include "src/sim/event_queue.h"
+
+namespace cedar {
+namespace {
+
+// Bookkeeping for one logical map task, which may have several racing
+// copies (original + speculative clones).
+struct TaskState {
+  double first_launch_time = 0.0;
+  bool launched = false;
+  bool completed = false;
+  int copies_in_flight = 0;
+  // Parallel arrays: the pending completion event and occupied slot of each
+  // in-flight copy.
+  std::vector<uint64_t> completion_handles;
+  std::vector<int> copy_slots;
+};
+
+}  // namespace
+
+int ClusterSpec::SlowMachines() const {
+  return static_cast<int>(static_cast<double>(machines) * slow_machine_fraction);
+}
+
+double ClusterSpec::SlotSpeedFactor(int slot) const {
+  CEDAR_CHECK(slot >= 0 && slot < TotalSlots());
+  int machine = slot / slots_per_machine;
+  return machine < SlowMachines() ? slow_machine_factor : 1.0;
+}
+
+ClusterRuntime::ClusterRuntime(ClusterSpec cluster, TreeSpec offline_tree, double deadline,
+                               ClusterRunOptions options)
+    : cluster_(cluster),
+      offline_tree_(std::move(offline_tree)),
+      deadline_(deadline),
+      options_(options) {
+  CEDAR_CHECK_GT(deadline, 0.0);
+  CEDAR_CHECK_GE(offline_tree_.num_stages(), 2);
+  CEDAR_CHECK_GE(cluster_.TotalSlots(), 1);
+  epsilon_ = deadline_ * options_.grid.epsilon_fraction;
+  curve_stack_ = BuildQualityCurveStack(offline_tree_, deadline_, options_.grid);
+}
+
+ClusterQueryResult ClusterRuntime::RunQuery(const WaitPolicy& policy_prototype,
+                                            const QueryRealization& realization) const {
+  int n = offline_tree_.num_stages();
+  int tiers = offline_tree_.num_aggregator_tiers();
+  CEDAR_CHECK_EQ(static_cast<int>(realization.stage_durations.size()), n);
+
+  // Quality-curve knowledge, as in TreeSimulation.
+  std::vector<PiecewiseLinear> query_stack;
+  const std::vector<PiecewiseLinear>* stack = &curve_stack_;
+  if (options_.per_query_upper_knowledge) {
+    TreeSpec truth_tree = realization.truth.OverlayOn(offline_tree_);
+    query_stack = BuildQualityCurveStack(truth_tree, deadline_, options_.grid);
+    stack = &query_stack;
+  }
+
+  std::vector<AggregatorContext> contexts(static_cast<size_t>(tiers));
+  {
+    double offset = 0.0;
+    for (int tier = 0; tier < tiers; ++tier) {
+      AggregatorContext& ctx = contexts[static_cast<size_t>(tier)];
+      ctx.tier = tier;
+      ctx.deadline = deadline_;
+      ctx.start_offset = offset;
+      ctx.fanout = offline_tree_.stage(tier).fanout;
+      ctx.offline_tree = &offline_tree_;
+      ctx.upper_quality = &(*stack)[static_cast<size_t>(tier + 1)];
+      ctx.epsilon = epsilon_;
+      if (tier + 1 < tiers) {
+        auto scratch = policy_prototype.Clone();
+        scratch->BeginQuery(ctx, &realization.truth);
+        offset = scratch->DecideInitialWait(ctx);
+      }
+    }
+  }
+
+  std::vector<std::vector<AggregatorNode>> nodes(static_cast<size_t>(tiers));
+  for (int tier = 0; tier < tiers; ++tier) {
+    long long count = StageEdgeCount(offline_tree_, tier + 1);
+    nodes[static_cast<size_t>(tier)] = std::vector<AggregatorNode>(static_cast<size_t>(count));
+    for (long long i = 0; i < count; ++i) {
+      auto policy = policy_prototype.Clone();
+      policy->BeginQuery(contexts[static_cast<size_t>(tier)], &realization.truth);
+      nodes[static_cast<size_t>(tier)][static_cast<size_t>(i)].Init(
+          tier, i, std::move(policy), &contexts[static_cast<size_t>(tier)]);
+    }
+  }
+
+  EventQueue queue;
+  ClusterQueryResult result;
+  result.total_weight = realization.TotalWeight();
+
+  auto make_send_fn = [&](int tier) {
+    return [&, tier](AggregatorNode& node, double weight) {
+      long long index = node.index();
+      double ship =
+          realization.stage_durations[static_cast<size_t>(tier + 1)][static_cast<size_t>(index)];
+      double arrive_at = queue.now() + ship;
+      if (tier + 1 == tiers) {
+        if (arrive_at <= deadline_) {
+          result.included_weight += weight;
+          ++result.root_arrivals_in_time;
+        } else {
+          ++result.root_arrivals_late;
+        }
+        return;
+      }
+      long long parent = index / offline_tree_.stage(tier + 1).fanout;
+      AggregatorNode& parent_node =
+          nodes[static_cast<size_t>(tier + 1)][static_cast<size_t>(parent)];
+      queue.Schedule(arrive_at,
+                     [&queue, &parent_node, weight] { parent_node.OnChildOutput(queue, weight); });
+    };
+  };
+
+  for (int tier = 0; tier < tiers; ++tier) {
+    auto send_fn = make_send_fn(tier);
+    for (auto& node : nodes[static_cast<size_t>(tier)]) {
+      node.Start(queue, send_fn);
+    }
+  }
+
+  // ---- Slot-scheduled leaf (map) stage ----
+  const auto& durations = realization.stage_durations[0];
+  auto total_tasks = static_cast<long long>(durations.size());
+  int k0 = offline_tree_.stage(0).fanout;
+  int slots = cluster_.TotalSlots();
+  result.waves = static_cast<int>((total_tasks + slots - 1) / slots);
+
+  std::vector<TaskState> tasks(static_cast<size_t>(total_tasks));
+  long long next_pending = 0;
+  // Explicit slot identities so heterogeneity can scale task durations by
+  // placement.
+  std::vector<int> free_slot_ids(static_cast<size_t>(slots));
+  for (int s = 0; s < slots; ++s) {
+    free_slot_ids[static_cast<size_t>(s)] = s;
+  }
+  // The scheduler does not know which machines are slow; shuffle the
+  // placement order (deterministically per query) so hot spots are hit in
+  // proportion to their share of the cluster.
+  {
+    Rng placement_rng(options_.runtime_seed ^
+                      (realization.truth.sequence * 0x9E3779B97F4A7C15ull) ^ 0xBEEF);
+    for (size_t i = free_slot_ids.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(placement_rng.NextBounded(i));
+      std::swap(free_slot_ids[i - 1], free_slot_ids[j]);
+    }
+  }
+  std::vector<double> completed_durations;
+  completed_durations.reserve(static_cast<size_t>(total_tasks));
+  long long clones_total = 0;
+
+  // Clone durations are runtime randomness (a speculative copy re-executes
+  // the work), seeded per query for reproducibility.
+  Rng clone_rng(options_.runtime_seed ^ (realization.truth.sequence * 0x9E3779B97F4A7C15ull) ^
+                0xC0FFEE);
+
+  // Forward declarations via std::function so the completion handler can
+  // start follow-up work.
+  std::function<void()> fill_slots;
+
+  auto launch_copy = [&](long long task_index, double service_duration) {
+    TaskState& task = tasks[static_cast<size_t>(task_index)];
+    CEDAR_CHECK(!free_slot_ids.empty());
+    int slot = free_slot_ids.back();
+    free_slot_ids.pop_back();
+    double duration = service_duration * cluster_.SlotSpeedFactor(slot);
+    ++result.tasks_launched;
+    ++task.copies_in_flight;
+    if (!task.launched) {
+      task.launched = true;
+      task.first_launch_time = queue.now();
+    }
+    bool is_clone = task.copies_in_flight > 1;
+    uint64_t handle =
+        queue.Schedule(queue.now() + duration, [&, task_index, duration, is_clone, slot] {
+          TaskState& t = tasks[static_cast<size_t>(task_index)];
+          --t.copies_in_flight;
+          free_slot_ids.push_back(slot);
+          for (size_t ci = 0; ci < t.copy_slots.size(); ++ci) {
+            if (t.copy_slots[ci] == slot) {
+              t.copy_slots.erase(t.copy_slots.begin() + static_cast<long>(ci));
+              t.completion_handles.erase(t.completion_handles.begin() + static_cast<long>(ci));
+              break;
+            }
+          }
+          if (!t.completed) {
+            t.completed = true;
+            if (is_clone) {
+              ++result.clones_won;
+            }
+            completed_durations.push_back(duration);
+            // Kill the losing copies: cancel their completions, free slots.
+            for (uint64_t h : t.completion_handles) {
+              queue.Cancel(h);
+            }
+            for (int losing_slot : t.copy_slots) {
+              free_slot_ids.push_back(losing_slot);
+            }
+            t.copies_in_flight = 0;
+            t.completion_handles.clear();
+            t.copy_slots.clear();
+            // Deliver the output to the owning tier-0 aggregator.
+            double weight = realization.leaf_weights.empty()
+                                ? 1.0
+                                : realization.leaf_weights[static_cast<size_t>(task_index)];
+            AggregatorNode& agg = nodes[0][static_cast<size_t>(task_index / k0)];
+            agg.OnChildOutput(queue, weight);
+          }
+          result.makespan = queue.now();
+          fill_slots();
+        });
+    task.completion_handles.push_back(handle);
+    task.copy_slots.push_back(slot);
+  };
+
+  bool spec_check_scheduled = false;
+
+  auto try_speculate = [&]() -> bool {
+    if (!options_.speculation.enabled || free_slot_ids.empty()) {
+      return false;
+    }
+    if (clones_total >= options_.speculation.max_clones || completed_durations.empty()) {
+      return false;
+    }
+    std::vector<double> sorted = completed_durations;
+    std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(sorted.size() / 2),
+                     sorted.end());
+    double median = sorted[sorted.size() / 2];
+    // Longest-running un-cloned task exceeding the slowdown threshold.
+    long long candidate = -1;
+    double longest = 0.0;
+    for (long long i = 0; i < total_tasks; ++i) {
+      const TaskState& t = tasks[static_cast<size_t>(i)];
+      if (t.launched && !t.completed && t.copies_in_flight == 1) {
+        double elapsed = queue.now() - t.first_launch_time;
+        if (elapsed > longest) {
+          longest = elapsed;
+          candidate = i;
+        }
+      }
+    }
+    if (candidate < 0) {
+      return false;
+    }
+    double threshold = options_.speculation.slowdown_threshold * median;
+    if (longest < threshold) {
+      // Not slow enough yet. A straggler crosses the threshold without any
+      // completion event firing, so poll again when the current
+      // longest-runner would qualify.
+      if (!spec_check_scheduled) {
+        spec_check_scheduled = true;
+        double check_at = std::max(queue.now() + 1e-9,
+                                   tasks[static_cast<size_t>(candidate)].first_launch_time +
+                                       threshold);
+        queue.Schedule(check_at, [&] {
+          spec_check_scheduled = false;
+          fill_slots();
+        });
+      }
+      return false;
+    }
+    ++clones_total;
+    ++result.clones_launched;
+    double clone_duration = realization.truth.stage_durations[0]->Sample(clone_rng);
+    launch_copy(candidate, clone_duration);
+    return true;
+  };
+
+  fill_slots = [&]() {
+    while (!free_slot_ids.empty() && next_pending < total_tasks) {
+      long long task_index = next_pending++;
+      launch_copy(task_index, durations[static_cast<size_t>(task_index)]);
+    }
+    while (try_speculate()) {
+    }
+  };
+
+  fill_slots();
+  queue.Run();
+
+  result.quality = result.total_weight > 0.0 ? result.included_weight / result.total_weight : 0.0;
+  return result;
+}
+
+}  // namespace cedar

@@ -1,0 +1,116 @@
+// ClusterRuntime: a slot-scheduled partition-aggregate execution engine —
+// the substitute for the paper's Spark deployment on 80 quad-core EC2
+// machines (320 process slots, §5.1).
+//
+// Differences from the analytic TreeSimulation:
+//  * Leaf processes are *tasks* that occupy slots. Tasks are placed FIFO
+//    over the cluster's slots; when there are more tasks than slots the job
+//    runs in waves, so arrival times at aggregators include queueing delay
+//    (a dynamic the analytic model does not capture — this is what makes
+//    the engine a deployment stand-in).
+//  * Optional speculative execution (straggler mitigation, §7): when slots
+//    go idle at the end of a stage, the longest-running task is cloned with
+//    a freshly drawn duration; the earlier copy wins and the other is
+//    killed, as in the production clusters the traces come from (§2.2).
+//
+// Aggregators run the same WaitPolicy machinery (Pseudocode 1 via
+// AggregatorNode); they are modelled as long-running reducers that do not
+// consume process slots, matching the paper's 320-slots-for-320-processes
+// setup (fanout 20 x 16).
+
+#ifndef CEDAR_SRC_CLUSTER_CLUSTER_RUNTIME_H_
+#define CEDAR_SRC_CLUSTER_CLUSTER_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/core/quality.h"
+#include "src/core/tree.h"
+#include "src/sim/realization.h"
+#include "src/sim/tree_simulation.h"
+
+namespace cedar {
+
+struct ClusterSpec {
+  int machines = 80;
+  int slots_per_machine = 4;
+
+  // Heterogeneity / hot spots (§2.2: contention makes some machines slow).
+  // The first floor(machines * slow_machine_fraction) machines run every
+  // task slow_machine_factor times longer. Speculative clones can land on
+  // healthy machines, which is where speculation actually pays off.
+  double slow_machine_fraction = 0.0;
+  double slow_machine_factor = 1.0;
+
+  int TotalSlots() const { return machines * slots_per_machine; }
+
+  // Number of machines marked slow.
+  int SlowMachines() const;
+
+  // Duration multiplier for a task placed on |slot|.
+  double SlotSpeedFactor(int slot) const;
+};
+
+struct SpeculationOptions {
+  bool enabled = false;
+  // A clone is launched for the longest-running task once slots are idle
+  // and the task has run at least |slowdown_threshold| times the median
+  // completed duration of its stage.
+  double slowdown_threshold = 2.0;
+  // At most this many clones in flight per stage.
+  int max_clones = 8;
+};
+
+struct ClusterRunOptions {
+  QualityGridOptions grid;
+  // Same knowledge model as TreeSimulationOptions (see there).
+  bool per_query_upper_knowledge = true;
+  SpeculationOptions speculation;
+  // Seed for runtime-internal randomness (speculative clone durations).
+  uint64_t runtime_seed = 1;
+};
+
+struct ClusterQueryResult {
+  double quality = 0.0;
+  double included_weight = 0.0;
+  double total_weight = 0.0;
+  long long root_arrivals_in_time = 0;
+  long long root_arrivals_late = 0;
+
+  // Engine diagnostics.
+  int waves = 0;               // ceil(tasks / slots) actually observed
+  double makespan = 0.0;       // last event time
+  long long tasks_launched = 0;  // including speculative clones
+  long long clones_launched = 0;
+  long long clones_won = 0;  // clones that finished before the original
+};
+
+class ClusterRuntime {
+ public:
+  // |offline_tree| supplies fanouts and the offline/global stage
+  // distributions, exactly as in TreeSimulation.
+  ClusterRuntime(ClusterSpec cluster, TreeSpec offline_tree, double deadline,
+                 ClusterRunOptions options = {});
+
+  // Replays one query under |policy_prototype|. realization.stage_durations
+  // supply task *service* durations; queueing is added by the engine.
+  ClusterQueryResult RunQuery(const WaitPolicy& policy_prototype,
+                              const QueryRealization& realization) const;
+
+  const TreeSpec& offline_tree() const { return offline_tree_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  double deadline() const { return deadline_; }
+
+ private:
+  ClusterSpec cluster_;
+  TreeSpec offline_tree_;
+  double deadline_;
+  ClusterRunOptions options_;
+  double epsilon_;
+  std::vector<PiecewiseLinear> curve_stack_;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_CLUSTER_CLUSTER_RUNTIME_H_

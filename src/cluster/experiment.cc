@@ -1,0 +1,64 @@
+#include "src/cluster/experiment.h"
+
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace cedar {
+
+const PolicyOutcome& ClusterExperimentResult::Outcome(const std::string& policy_name) const {
+  for (const auto& outcome : outcomes) {
+    if (outcome.policy_name == policy_name) {
+      return outcome;
+    }
+  }
+  CEDAR_LOG(FATAL) << "no outcome for policy '" << policy_name << "'";
+  __builtin_unreachable();
+}
+
+double ClusterExperimentResult::ImprovementPercent(const std::string& baseline,
+                                                   const std::string& treatment) const {
+  return PercentImprovement(Outcome(baseline).MeanQuality(), Outcome(treatment).MeanQuality());
+}
+
+ClusterExperimentResult RunClusterExperiment(const Workload& workload,
+                                             const std::vector<const WaitPolicy*>& policies,
+                                             const ClusterExperimentConfig& config) {
+  CEDAR_CHECK(!policies.empty());
+  CEDAR_CHECK_GT(config.num_queries, 0);
+  CEDAR_CHECK_GT(config.deadline, 0.0);
+
+  ClusterExperimentResult result;
+  result.outcomes.resize(policies.size());
+  {
+    std::set<std::string> names;
+    for (size_t p = 0; p < policies.size(); ++p) {
+      result.outcomes[p].policy_name = policies[p]->name();
+      CEDAR_CHECK(names.insert(policies[p]->name()).second)
+          << "duplicate policy name '" << policies[p]->name() << "'";
+    }
+  }
+
+  TreeSpec offline_tree = workload.OfflineTree();
+  ClusterRuntime runtime(config.cluster, offline_tree, config.deadline, config.run);
+
+  Rng rng(config.seed);
+  uint64_t next_sequence = (config.seed << 20) + 1;
+  for (int q = 0; q < config.num_queries; ++q) {
+    QueryTruth truth = workload.DrawQuery(rng);
+    truth.sequence = next_sequence++;
+    Rng realization_rng = rng.Fork();
+    QueryRealization realization = SampleRealization(offline_tree, truth, realization_rng);
+    for (size_t p = 0; p < policies.size(); ++p) {
+      ClusterQueryResult query_result = runtime.RunQuery(*policies[p], realization);
+      result.outcomes[p].quality.Add(query_result.quality);
+      result.outcomes[p].root_arrivals_late += query_result.root_arrivals_late;
+      result.total_clones_launched += query_result.clones_launched;
+      result.total_clones_won += query_result.clones_won;
+      result.waves = query_result.waves;
+    }
+  }
+  return result;
+}
+
+}  // namespace cedar

@@ -1,0 +1,42 @@
+// Cluster-engine experiment runner: the deployment-side counterpart of
+// src/sim/experiment.h. Replays workload queries through the slot-scheduled
+// ClusterRuntime under several policies on identical realizations.
+
+#ifndef CEDAR_SRC_CLUSTER_EXPERIMENT_H_
+#define CEDAR_SRC_CLUSTER_EXPERIMENT_H_
+
+#include <vector>
+
+#include "src/cluster/cluster_runtime.h"
+#include "src/sim/experiment.h"
+#include "src/sim/workload.h"
+
+namespace cedar {
+
+struct ClusterExperimentConfig {
+  ClusterSpec cluster;
+  double deadline = 0.0;
+  int num_queries = 100;
+  uint64_t seed = 42;
+  ClusterRunOptions run;
+};
+
+struct ClusterExperimentResult {
+  std::vector<PolicyOutcome> outcomes;
+  // Engine aggregates over all queries of the last policy run (identical
+  // scheduling across policies except timer-driven aggregation).
+  long long total_clones_launched = 0;
+  long long total_clones_won = 0;
+  int waves = 0;
+
+  const PolicyOutcome& Outcome(const std::string& policy_name) const;
+  double ImprovementPercent(const std::string& baseline, const std::string& treatment) const;
+};
+
+ClusterExperimentResult RunClusterExperiment(const Workload& workload,
+                                             const std::vector<const WaitPolicy*>& policies,
+                                             const ClusterExperimentConfig& config);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_CLUSTER_EXPERIMENT_H_

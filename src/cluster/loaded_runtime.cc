@@ -1,0 +1,206 @@
+#include "src/cluster/loaded_runtime.h"
+
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/sim/aggregator_node.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/realization.h"
+
+namespace cedar {
+namespace {
+
+// All the per-query state: its realization, its aggregation tree, and its
+// progress counters. Heap-allocated so addresses stay stable while the
+// deque of jobs grows.
+struct JobState {
+  double arrival = 0.0;
+  QueryRealization realization;
+  std::vector<PiecewiseLinear> curve_stack;  // per-query upper knowledge
+  std::vector<AggregatorContext> contexts;
+  std::vector<std::vector<AggregatorNode>> nodes;
+  double included_weight = 0.0;
+  double total_weight = 0.0;
+  long long tasks_remaining_to_deliver = 0;
+};
+
+struct PendingTask {
+  JobState* job = nullptr;
+  long long task_index = 0;
+};
+
+}  // namespace
+
+LoadedRunResult RunLoadedCluster(const Workload& workload, const WaitPolicy& policy,
+                                 const LoadedRunConfig& config) {
+  CEDAR_CHECK_GT(config.deadline, 0.0);
+  CEDAR_CHECK_GT(config.mean_interarrival, 0.0);
+  CEDAR_CHECK_GT(config.num_queries, 0);
+  CEDAR_CHECK_GE(config.cluster.TotalSlots(), 1);
+
+  TreeSpec offline_tree = workload.OfflineTree();
+  int tiers = offline_tree.num_aggregator_tiers();
+  double epsilon = config.deadline * config.grid.epsilon_fraction;
+  auto offline_stack = BuildQualityCurveStack(offline_tree, config.deadline, config.grid);
+
+  EventQueue queue;
+  Rng rng(config.seed);
+  uint64_t next_sequence = (config.seed << 20) + 1;
+
+  std::deque<std::unique_ptr<JobState>> jobs;
+  std::deque<PendingTask> pending;
+  int free_slots = config.cluster.TotalSlots();
+  int k0 = offline_tree.stage(0).fanout;
+
+  LoadedRunResult result;
+  double queue_delay_sum = 0.0;
+  long long tasks_started = 0;
+  double busy_time = 0.0;
+
+  std::function<void()> fill_slots;
+
+  // Builds the upstream send chain for one job, mirroring ClusterRuntime.
+  auto make_send_fn = [&](JobState* job, int tier) {
+    return [&, job, tier](AggregatorNode& node, double weight) {
+      long long index = node.index();
+      double ship = job->realization
+                        .stage_durations[static_cast<size_t>(tier + 1)][static_cast<size_t>(index)];
+      double arrive_at = queue.now() + ship;
+      if (tier + 1 == tiers) {
+        if (arrive_at <= job->arrival + config.deadline) {
+          job->included_weight += weight;
+        }
+        return;
+      }
+      long long parent = index / offline_tree.stage(tier + 1).fanout;
+      AggregatorNode& parent_node =
+          job->nodes[static_cast<size_t>(tier + 1)][static_cast<size_t>(parent)];
+      queue.Schedule(arrive_at,
+                     [&queue, &parent_node, weight] { parent_node.OnChildOutput(queue, weight); });
+    };
+  };
+
+  auto start_job = [&](QueryTruth truth) {
+    auto job = std::make_unique<JobState>();
+    job->arrival = queue.now();
+    Rng realization_rng = rng.Fork();
+    job->realization = SampleRealization(offline_tree, truth, realization_rng);
+    job->total_weight = job->realization.TotalWeight();
+    job->tasks_remaining_to_deliver =
+        static_cast<long long>(job->realization.stage_durations[0].size());
+
+    const std::vector<PiecewiseLinear>* stack = &offline_stack;
+    if (config.per_query_upper_knowledge) {
+      TreeSpec truth_tree = job->realization.truth.OverlayOn(offline_tree);
+      job->curve_stack = BuildQualityCurveStack(truth_tree, config.deadline, config.grid);
+      stack = &job->curve_stack;
+    }
+
+    job->contexts.resize(static_cast<size_t>(tiers));
+    double offset = 0.0;
+    for (int tier = 0; tier < tiers; ++tier) {
+      AggregatorContext& ctx = job->contexts[static_cast<size_t>(tier)];
+      ctx.tier = tier;
+      ctx.deadline = config.deadline;
+      ctx.start_offset = offset;
+      ctx.fanout = offline_tree.stage(tier).fanout;
+      ctx.offline_tree = &offline_tree;
+      ctx.upper_quality = &(*stack)[static_cast<size_t>(tier + 1)];
+      ctx.epsilon = epsilon;
+      if (tier + 1 < tiers) {
+        auto scratch = policy.Clone();
+        scratch->BeginQuery(ctx, &job->realization.truth);
+        offset = scratch->DecideInitialWait(ctx);
+      }
+    }
+
+    job->nodes.resize(static_cast<size_t>(tiers));
+    for (int tier = 0; tier < tiers; ++tier) {
+      long long count = StageEdgeCount(offline_tree, tier + 1);
+      job->nodes[static_cast<size_t>(tier)] =
+          std::vector<AggregatorNode>(static_cast<size_t>(count));
+      for (long long i = 0; i < count; ++i) {
+        auto node_policy = policy.Clone();
+        node_policy->BeginQuery(job->contexts[static_cast<size_t>(tier)],
+                                &job->realization.truth);
+        job->nodes[static_cast<size_t>(tier)][static_cast<size_t>(i)].Init(
+            tier, i, std::move(node_policy), &job->contexts[static_cast<size_t>(tier)],
+            job->arrival);
+      }
+    }
+    JobState* raw = job.get();
+    for (int tier = 0; tier < tiers; ++tier) {
+      auto send_fn = make_send_fn(raw, tier);
+      for (auto& node : raw->nodes[static_cast<size_t>(tier)]) {
+        node.Start(queue, send_fn);
+      }
+    }
+
+    // Enqueue all map tasks FIFO behind earlier jobs' tasks.
+    for (long long t = 0; t < raw->tasks_remaining_to_deliver; ++t) {
+      pending.push_back({raw, t});
+    }
+    jobs.push_back(std::move(job));
+    fill_slots();
+  };
+
+  fill_slots = [&]() {
+    while (free_slots > 0 && !pending.empty()) {
+      PendingTask task = pending.front();
+      pending.pop_front();
+      --free_slots;
+      ++tasks_started;
+      queue_delay_sum += queue.now() - task.job->arrival;
+      double duration =
+          task.job->realization.stage_durations[0][static_cast<size_t>(task.task_index)];
+      busy_time += duration;
+      JobState* job = task.job;
+      long long index = task.task_index;
+      queue.Schedule(queue.now() + duration, [&, job, index, duration] {
+        (void)duration;
+        ++free_slots;
+        double weight = job->realization.leaf_weights.empty()
+                            ? 1.0
+                            : job->realization.leaf_weights[static_cast<size_t>(index)];
+        job->nodes[0][static_cast<size_t>(index / k0)].OnChildOutput(queue, weight);
+        result.makespan = queue.now();
+        fill_slots();
+      });
+    }
+  };
+
+  // Poisson arrivals.
+  std::function<void(int)> schedule_arrival = [&](int remaining) {
+    if (remaining <= 0) {
+      return;
+    }
+    double gap = -std::log(rng.NextOpenDouble()) * config.mean_interarrival;
+    queue.Schedule(queue.now() + gap, [&, remaining] {
+      QueryTruth truth = workload.DrawQuery(rng);
+      truth.sequence = next_sequence++;
+      start_job(std::move(truth));
+      schedule_arrival(remaining - 1);
+    });
+  };
+  schedule_arrival(config.num_queries);
+
+  queue.Run();
+
+  for (const auto& job : jobs) {
+    result.per_query_quality.Add(job->total_weight > 0.0
+                                     ? job->included_weight / job->total_weight
+                                     : 0.0);
+  }
+  result.mean_queue_delay =
+      tasks_started > 0 ? queue_delay_sum / static_cast<double>(tasks_started) : 0.0;
+  result.utilization =
+      result.makespan > 0.0
+          ? busy_time / (result.makespan * static_cast<double>(config.cluster.TotalSlots()))
+          : 0.0;
+  return result;
+}
+
+}  // namespace cedar

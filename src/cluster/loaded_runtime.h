@@ -1,0 +1,57 @@
+// LoadedClusterRuntime: many concurrent queries sharing one slot pool.
+//
+// Queries arrive as a Poisson process and contend for the cluster's slots;
+// tasks are started FIFO across queries. Each query gets its own
+// aggregation tree (with its arrival time as its time origin) and its own
+// relative deadline. This extends the paper's one-query-at-a-time
+// deployment to the loaded regime: as utilization rises, queueing delays
+// inflate the effective bottom-stage durations, and the experiment measures
+// how each wait policy's quality degrades with load.
+
+#ifndef CEDAR_SRC_CLUSTER_LOADED_RUNTIME_H_
+#define CEDAR_SRC_CLUSTER_LOADED_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_runtime.h"
+#include "src/common/sample_set.h"
+#include "src/sim/workload.h"
+
+namespace cedar {
+
+struct LoadedRunConfig {
+  ClusterSpec cluster;
+  // Per-query relative deadline D.
+  double deadline = 0.0;
+  // Mean query inter-arrival time (exponential); smaller = heavier load.
+  double mean_interarrival = 0.0;
+  int num_queries = 50;
+  uint64_t seed = 42;
+  QualityGridOptions grid;
+  // Same knowledge model as the single-query runtimes.
+  bool per_query_upper_knowledge = true;
+};
+
+struct LoadedRunResult {
+  // Quality of each query, in arrival order.
+  SampleSet per_query_quality;
+  // Mean time a task spent queued before getting a slot.
+  double mean_queue_delay = 0.0;
+  // Fraction of slot-time busy over the whole run.
+  double utilization = 0.0;
+  // Last event time.
+  double makespan = 0.0;
+
+  double MeanQuality() const { return per_query_quality.empty() ? 0.0 : per_query_quality.Mean(); }
+};
+
+// Runs |config.num_queries| queries of |workload| through a shared cluster
+// under |policy|. Deterministic for a given seed.
+LoadedRunResult RunLoadedCluster(const Workload& workload, const WaitPolicy& policy,
+                                 const LoadedRunConfig& config);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_CLUSTER_LOADED_RUNTIME_H_

@@ -1,0 +1,113 @@
+#include "src/common/csv.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace cedar {
+
+int CsvDocument::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == column) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path);
+  CEDAR_CHECK(impl_->out.good()) << "cannot open CSV output: " << path;
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::Header(const std::vector<std::string>& columns) {
+  CEDAR_CHECK(!header_written_) << "CSV header written twice";
+  header_written_ = true;
+  width_ = columns.size();
+  Row(columns);
+  header_written_ = true;  // Row() does not reset it; keep the invariant clear.
+}
+
+void CsvWriter::Row(const std::vector<std::string>& cells) {
+  if (width_ != 0) {
+    CEDAR_CHECK_EQ(cells.size(), width_) << "ragged CSV row";
+  } else {
+    width_ = cells.size();
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    CEDAR_CHECK(cells[i].find(',') == std::string::npos &&
+                cells[i].find('\n') == std::string::npos)
+        << "CSV cell contains separator: " << cells[i];
+    if (i != 0) {
+      impl_->out << ',';
+    }
+    impl_->out << cells[i];
+  }
+  impl_->out << '\n';
+}
+
+void CsvWriter::NumericRow(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream s;
+    s.precision(12);
+    s << v;
+    text.push_back(s.str());
+  }
+  Row(text);
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+CsvDocument ParseCsv(const std::string& content) {
+  CsvDocument doc;
+  std::istringstream in(content);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    auto cells = SplitCsvLine(line);
+    if (first) {
+      doc.header = std::move(cells);
+      first = false;
+      continue;
+    }
+    CEDAR_CHECK_EQ(cells.size(), doc.header.size()) << "ragged CSV row: " << line;
+    doc.rows.push_back(std::move(cells));
+  }
+  return doc;
+}
+
+CsvDocument ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  CEDAR_CHECK(in.good()) << "cannot open CSV input: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+}  // namespace cedar

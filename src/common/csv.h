@@ -1,0 +1,58 @@
+// CSV reading and writing for trace files and bench output.
+//
+// The dialect is deliberately simple (comma separator, no embedded commas or
+// quotes in fields) because all files are produced by this repository's own
+// tools; the reader rejects anything it cannot round-trip.
+
+#ifndef CEDAR_SRC_COMMON_CSV_H_
+#define CEDAR_SRC_COMMON_CSV_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cedar {
+
+// An in-memory CSV document: a header row plus data rows of equal width.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  // Index of |column| in the header, or -1 if absent.
+  int ColumnIndex(const std::string& column) const;
+};
+
+// Writes rows of string or double cells, one Row() call per line.
+class CsvWriter {
+ public:
+  // Writes to |path|; fatal if the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void Header(const std::vector<std::string>& columns);
+  void Row(const std::vector<std::string>& cells);
+  void NumericRow(const std::vector<double>& cells);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  size_t width_ = 0;
+  bool header_written_ = false;
+};
+
+// Parses the whole file; fatal on missing file or ragged rows.
+CsvDocument ReadCsvFile(const std::string& path);
+
+// Parses CSV content from a string (used by tests).
+CsvDocument ParseCsv(const std::string& content);
+
+// Splits one CSV line on commas (no quoting support by design).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_COMMON_CSV_H_

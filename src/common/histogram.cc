@@ -1,0 +1,97 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "src/common/logging.h"
+
+namespace cedar {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  CEDAR_CHECK_LT(lo, hi);
+  CEDAR_CHECK_GE(bins, 1);
+  counts_.assign(static_cast<size_t>(bins), 0);
+}
+
+Histogram Histogram::Logarithmic(double lo, double hi, int bins) {
+  CEDAR_CHECK_GT(lo, 0.0) << "log-spaced bins need lo > 0";
+  CEDAR_CHECK_LT(lo, hi);
+  CEDAR_CHECK_GE(bins, 1);
+  Histogram histogram;
+  histogram.logarithmic_ = true;
+  histogram.lo_ = lo;
+  histogram.hi_ = hi;
+  histogram.counts_.assign(static_cast<size_t>(bins), 0);
+  return histogram;
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  double position;
+  if (logarithmic_) {
+    if (value < lo_) {
+      ++underflow_;
+      return;
+    }
+    position = std::log(value / lo_) / std::log(hi_ / lo_);
+  } else {
+    position = (value - lo_) / (hi_ - lo_);
+  }
+  if (position < 0.0) {
+    ++underflow_;
+    return;
+  }
+  if (position >= 1.0) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<size_t>(position * static_cast<double>(counts_.size()));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double value : values) {
+    Add(value);
+  }
+}
+
+long long Histogram::bin_count(int bin) const {
+  CEDAR_CHECK(bin >= 0 && bin < num_bins());
+  return counts_[static_cast<size_t>(bin)];
+}
+
+std::pair<double, double> Histogram::bin_bounds(int bin) const {
+  CEDAR_CHECK(bin >= 0 && bin < num_bins());
+  double f0 = static_cast<double>(bin) / num_bins();
+  double f1 = static_cast<double>(bin + 1) / num_bins();
+  if (logarithmic_) {
+    double ratio = hi_ / lo_;
+    return {lo_ * std::pow(ratio, f0), lo_ * std::pow(ratio, f1)};
+  }
+  return {lo_ + f0 * (hi_ - lo_), lo_ + f1 * (hi_ - lo_)};
+}
+
+void Histogram::Print(std::ostream& out, int width) const {
+  long long max_count = 1;
+  for (long long count : counts_) {
+    max_count = std::max(max_count, count);
+  }
+  if (underflow_ > 0) {
+    out << "      < " << std::setw(10) << lo_ << "  " << underflow_ << "\n";
+  }
+  for (int bin = 0; bin < num_bins(); ++bin) {
+    auto [lower, upper] = bin_bounds(bin);
+    long long count = bin_count(bin);
+    int bar = static_cast<int>(static_cast<double>(count) * width / max_count);
+    out << std::setw(10) << std::setprecision(4) << lower << " - " << std::setw(10) << upper
+        << "  " << std::string(static_cast<size_t>(bar), '#') << " " << count << "\n";
+  }
+  if (overflow_ > 0) {
+    out << "     >= " << std::setw(10) << hi_ << "  " << overflow_ << "\n";
+  }
+}
+
+}  // namespace cedar

@@ -1,0 +1,51 @@
+// Fixed-bin histogram with text rendering, used by the CLI tools and
+// examples to visualize duration and quality distributions in the terminal.
+
+#ifndef CEDAR_SRC_COMMON_HISTOGRAM_H_
+#define CEDAR_SRC_COMMON_HISTOGRAM_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cedar {
+
+class Histogram {
+ public:
+  // Uniform bins over [lo, hi); values outside are counted in the two
+  // overflow buckets.
+  Histogram(double lo, double hi, int bins);
+
+  // Log-spaced bins over [lo, hi), lo > 0 — the natural choice for
+  // long-tailed durations.
+  static Histogram Logarithmic(double lo, double hi, int bins);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  long long count() const { return total_; }
+  long long underflow() const { return underflow_; }
+  long long overflow() const { return overflow_; }
+  long long bin_count(int bin) const;
+  // [lower, upper) bounds of a bin.
+  std::pair<double, double> bin_bounds(int bin) const;
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+
+  // Renders an ASCII bar chart, |width| characters for the largest bin.
+  void Print(std::ostream& out, int width = 50) const;
+
+ private:
+  Histogram() = default;
+
+  bool logarithmic_ = false;
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  std::vector<long long> counts_;
+  long long underflow_ = 0;
+  long long overflow_ = 0;
+  long long total_ = 0;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,86 @@
+// Minimal leveled logging and check macros.
+//
+// Usage:
+//   CEDAR_LOG(INFO) << "queries=" << n;
+//   CEDAR_CHECK(x > 0) << "x must be positive, got " << x;
+//   CEDAR_CHECK_NEAR(a, b, 1e-9);
+//
+// CHECK failures print the message and abort: they guard programming errors,
+// not recoverable conditions (Core Guidelines E.12 / I.6).
+
+#ifndef CEDAR_SRC_COMMON_LOGGING_H_
+#define CEDAR_SRC_COMMON_LOGGING_H_
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cedar {
+
+enum class LogSeverity {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global minimum severity that is actually emitted. Defaults to kInfo.
+LogSeverity GetMinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+// One in-flight log statement. Flushes (and aborts for kFatal) in the
+// destructor, so the streaming form composes naturally.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the severity is below the threshold.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace cedar
+
+#define CEDAR_LOG_SEVERITY_DEBUG ::cedar::LogSeverity::kDebug
+#define CEDAR_LOG_SEVERITY_INFO ::cedar::LogSeverity::kInfo
+#define CEDAR_LOG_SEVERITY_WARNING ::cedar::LogSeverity::kWarning
+#define CEDAR_LOG_SEVERITY_ERROR ::cedar::LogSeverity::kError
+#define CEDAR_LOG_SEVERITY_FATAL ::cedar::LogSeverity::kFatal
+
+#define CEDAR_LOG(severity)                                             \
+  (CEDAR_LOG_SEVERITY_##severity < ::cedar::GetMinLogSeverity())        \
+      ? (void)0                                                         \
+      : ::cedar::LogMessageVoidify() &                                  \
+            ::cedar::LogMessage(CEDAR_LOG_SEVERITY_##severity, __FILE__, __LINE__).stream()
+
+#define CEDAR_CHECK(condition)                                                       \
+  (condition) ? (void)0                                                              \
+              : ::cedar::LogMessageVoidify() &                                       \
+                    ::cedar::LogMessage(::cedar::LogSeverity::kFatal, __FILE__, __LINE__) \
+                        .stream()                                                    \
+                        << "Check failed: " #condition " "
+
+#define CEDAR_CHECK_EQ(a, b) CEDAR_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CEDAR_CHECK_NE(a, b) CEDAR_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CEDAR_CHECK_LT(a, b) CEDAR_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CEDAR_CHECK_LE(a, b) CEDAR_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CEDAR_CHECK_GT(a, b) CEDAR_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CEDAR_CHECK_GE(a, b) CEDAR_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CEDAR_CHECK_NEAR(a, b, tol) \
+  CEDAR_CHECK(std::fabs((a) - (b)) <= (tol)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // CEDAR_SRC_COMMON_LOGGING_H_

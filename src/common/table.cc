@@ -1,0 +1,78 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace cedar {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  CEDAR_CHECK(!columns_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CEDAR_CHECK_EQ(cells.size(), columns_.size()) << "row width mismatch";
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  std::ostringstream s;
+  if (std::isfinite(value) && value == std::floor(value) && std::fabs(value) < 1e15) {
+    s << static_cast<long long>(value);
+  } else {
+    s << std::fixed << std::setprecision(precision) << value;
+  }
+  return s.str();
+}
+
+void TablePrinter::AddNumericRow(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    text.push_back(FormatDouble(v, precision));
+  }
+  AddRow(std::move(text));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out << std::setw(static_cast<int>(widths[i])) << cells[i];
+      if (i + 1 != cells.size()) {
+        out << "  ";
+      }
+    }
+    out << '\n';
+  };
+
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void PrintBanner(std::ostream& out, const std::string& title) {
+  out << "\n== " << title << " ==\n";
+}
+
+}  // namespace cedar

@@ -1,0 +1,48 @@
+// Aligned console tables for the figure-reproduction harnesses.
+//
+// Every bench binary prints the paper's rows/series through this printer so
+// the output format is uniform and diffable:
+//
+//   TablePrinter t({"deadline_s", "baseline", "cedar", "ideal", "improvement_%"});
+//   t.AddRow({"500", "0.21", "0.42", "0.43", "100.0"});
+//   t.Print(std::cout);
+
+#ifndef CEDAR_SRC_COMMON_TABLE_H_
+#define CEDAR_SRC_COMMON_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cedar {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  // Adds a pre-formatted row; must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with |precision| significant decimals.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 4);
+
+  // Writes the aligned table, header underlined with dashes.
+  void Print(std::ostream& out) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Formats one double the same way AddNumericRow does (for mixed rows).
+  static std::string FormatDouble(double value, int precision = 4);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner ("== Figure 7: ... ==") so multi-table benches
+// stay readable when concatenated in bench_output.txt.
+void PrintBanner(std::ostream& out, const std::string& title);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_COMMON_TABLE_H_

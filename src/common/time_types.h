@@ -1,0 +1,29 @@
+// Time representation shared by the Cedar library, simulators and benches.
+//
+// The paper's workloads span three units (Facebook jobs in seconds, Google in
+// milliseconds, Bing in microseconds). Rather than fixing a unit globally,
+// all durations are plain doubles in *workload-defined* units; a workload's
+// definition states its unit and every figure harness prints it. This mirrors
+// the paper, which also switches units per workload.
+
+#ifndef CEDAR_SRC_COMMON_TIME_TYPES_H_
+#define CEDAR_SRC_COMMON_TIME_TYPES_H_
+
+#include <limits>
+
+namespace cedar {
+
+// A point in simulated time or a duration, in workload-defined units.
+using SimTime = double;
+
+// Sentinel for "never" / unset timers.
+inline constexpr SimTime kSimTimeInfinity = std::numeric_limits<double>::infinity();
+
+// Returns true if |t| is a usable finite timestamp.
+inline bool IsFiniteTime(SimTime t) {
+  return t < kSimTimeInfinity && t > -kSimTimeInfinity;
+}
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_COMMON_TIME_TYPES_H_

@@ -1,0 +1,43 @@
+#include "src/core/dual.h"
+
+#include "src/common/logging.h"
+
+namespace cedar {
+
+DualSolution SolveDeadlineForQuality(const TreeSpec& tree, double target_quality,
+                                     double max_deadline, double tolerance,
+                                     const QualityGridOptions& options) {
+  CEDAR_CHECK(target_quality > 0.0 && target_quality < 1.0)
+      << "target quality must be in (0,1): " << target_quality;
+  CEDAR_CHECK_GT(max_deadline, 0.0);
+  CEDAR_CHECK_GT(tolerance, 0.0);
+
+  DualSolution solution;
+  double q_max = MaxExpectedQuality(tree, max_deadline, options);
+  if (q_max < target_quality) {
+    solution.deadline = max_deadline;
+    solution.achieved_quality = q_max;
+    solution.feasible = false;
+    return solution;
+  }
+
+  // q_n(D) is monotone in D (more budget can only help when waits are
+  // optimal), so a plain bisection converges.
+  double lo = 0.0;
+  double hi = max_deadline;
+  while ((hi - lo) > tolerance * max_deadline) {
+    double mid = 0.5 * (lo + hi);
+    double q = mid > 0.0 ? MaxExpectedQuality(tree, mid, options) : 0.0;
+    if (q >= target_quality) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  solution.deadline = hi;
+  solution.achieved_quality = MaxExpectedQuality(tree, hi, options);
+  solution.feasible = true;
+  return solution;
+}
+
+}  // namespace cedar

@@ -1,0 +1,32 @@
+// The dual problem (§6 of the paper): instead of maximizing quality under a
+// fixed deadline, find the smallest deadline whose maximum expected quality
+// reaches a target x%. Cedar's machinery solves this directly because
+// q_n(D) is monotone non-decreasing in D.
+
+#ifndef CEDAR_SRC_CORE_DUAL_H_
+#define CEDAR_SRC_CORE_DUAL_H_
+
+#include "src/core/quality.h"
+#include "src/core/tree.h"
+
+namespace cedar {
+
+struct DualSolution {
+  // Smallest deadline found with q_n(deadline) >= target_quality.
+  double deadline = 0.0;
+  // q_n at that deadline.
+  double achieved_quality = 0.0;
+  // False if even |max_deadline| cannot reach the target.
+  bool feasible = false;
+};
+
+// Binary-searches D in (0, max_deadline] for the minimum deadline with
+// q_n(D) >= target_quality (target in (0, 1)). |tolerance| is the relative
+// precision of the returned deadline.
+DualSolution SolveDeadlineForQuality(const TreeSpec& tree, double target_quality,
+                                     double max_deadline, double tolerance = 1e-3,
+                                     const QualityGridOptions& options = {});
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_CORE_DUAL_H_

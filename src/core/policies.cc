@@ -1,0 +1,218 @@
+#include "src/core/policies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace cedar {
+namespace {
+
+double OfflineOptimalWait(const AggregatorContext& ctx) {
+  CEDAR_CHECK(ctx.offline_tree != nullptr);
+  CEDAR_CHECK(ctx.upper_quality != nullptr);
+  double remaining = std::max(0.0, ctx.deadline - ctx.start_offset);
+  WaitDecision decision =
+      OptimizeWait(*ctx.offline_tree->stage(ctx.tier).duration,
+                   ctx.fanout, *ctx.upper_quality, remaining, ctx.epsilon);
+  return ctx.start_offset + decision.wait;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- FixedWait
+
+FixedWaitPolicy::FixedWaitPolicy(double absolute_wait) : absolute_wait_(absolute_wait) {
+  CEDAR_CHECK_GE(absolute_wait, 0.0);
+}
+
+std::unique_ptr<WaitPolicy> FixedWaitPolicy::Clone() const {
+  return std::make_unique<FixedWaitPolicy>(*this);
+}
+
+double FixedWaitPolicy::InitialWait(const AggregatorContext& ctx) {
+  (void)ctx;
+  return absolute_wait_;
+}
+
+// --------------------------------------------------------------- EqualSplit
+
+std::unique_ptr<WaitPolicy> EqualSplitPolicy::Clone() const {
+  return std::make_unique<EqualSplitPolicy>(*this);
+}
+
+double EqualSplitPolicy::InitialWait(const AggregatorContext& ctx) {
+  CEDAR_CHECK(ctx.offline_tree != nullptr);
+  int remaining_stages = ctx.offline_tree->num_stages() - ctx.tier;
+  CEDAR_CHECK_GE(remaining_stages, 1);
+  double budget = std::max(0.0, ctx.deadline - ctx.start_offset);
+  return ctx.start_offset + budget / static_cast<double>(remaining_stages);
+}
+
+// -------------------------------------------------------- ProportionalSplit
+
+std::unique_ptr<WaitPolicy> ProportionalSplitPolicy::Clone() const {
+  return std::make_unique<ProportionalSplitPolicy>(*this);
+}
+
+double ProportionalSplitPolicy::InitialWait(const AggregatorContext& ctx) {
+  CEDAR_CHECK(ctx.offline_tree != nullptr);
+  // D * (mu_1 + ... + mu_{tier+1-th stage}) / sum of all stage means: the
+  // share of the deadline proportional to the mean time spent up to and
+  // including this aggregator's input stage (§3).
+  double below = 0.0;
+  for (int i = 0; i <= ctx.tier; ++i) {
+    below += ctx.offline_tree->stage(i).duration->Mean();
+  }
+  double total = ctx.offline_tree->SumOfStageMeans();
+  CEDAR_CHECK_GT(total, 0.0);
+  double wait = ctx.deadline * below / total;
+  return Clamp(wait, ctx.start_offset, ctx.deadline);
+}
+
+// ------------------------------------------------------------- MeanSubtract
+
+std::unique_ptr<WaitPolicy> MeanSubtractPolicy::Clone() const {
+  return std::make_unique<MeanSubtractPolicy>(*this);
+}
+
+double MeanSubtractPolicy::InitialWait(const AggregatorContext& ctx) {
+  CEDAR_CHECK(ctx.offline_tree != nullptr);
+  double above = 0.0;
+  for (int i = ctx.tier + 1; i < ctx.offline_tree->num_stages(); ++i) {
+    above += ctx.offline_tree->stage(i).duration->Mean();
+  }
+  return Clamp(ctx.deadline - above, ctx.start_offset, ctx.deadline);
+}
+
+// ----------------------------------------------------------- OfflineOptimal
+
+std::unique_ptr<WaitPolicy> OfflineOptimalPolicy::Clone() const {
+  return std::make_unique<OfflineOptimalPolicy>(*this);
+}
+
+double OfflineOptimalPolicy::InitialWait(const AggregatorContext& ctx) {
+  return OfflineOptimalWait(ctx);
+}
+
+// -------------------------------------------------------------------- Cedar
+
+CedarPolicy::CedarPolicy(CedarPolicyOptions options) : options_(options) {
+  CEDAR_CHECK_GE(options_.reoptimize_every, 1);
+  if (options_.use_wait_table) {
+    CEDAR_CHECK(options_.table_spec.family == options_.learner.family)
+        << "wait-table family must match the learner family";
+    table_cache_ = std::make_shared<TableCache>();
+  }
+}
+
+std::unique_ptr<WaitPolicy> CedarPolicy::Clone() const {
+  // Clones share options (and the wait-table cache) but never learner state.
+  auto clone = std::make_unique<CedarPolicy>(options_);
+  clone->table_cache_ = table_cache_;
+  return clone;
+}
+
+const WaitTable& CedarPolicy::TableFor(const AggregatorContext& ctx) {
+  std::lock_guard<std::mutex> lock(table_cache_->mutex);
+  double remaining = std::max(0.0, ctx.deadline - ctx.start_offset);
+  if (table_cache_->curve_key != ctx.upper_quality || table_cache_->deadline != remaining) {
+    table_cache_->table = std::make_unique<WaitTable>(options_.table_spec, ctx.fanout,
+                                                      *ctx.upper_quality, remaining, ctx.epsilon);
+    table_cache_->curve_key = ctx.upper_quality;
+    table_cache_->deadline = remaining;
+  }
+  return *table_cache_->table;
+}
+
+void CedarPolicy::BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) {
+  WaitPolicy::BeginQuery(ctx, truth);
+  arrivals_since_reopt_ = 0;
+  if (LearnsAt(ctx.tier)) {
+    // Small fanouts cannot supply the default number of warm-up samples;
+    // keep at least two-thirds of the children as usable signal.
+    OnlineLearnerOptions learner_options = options_.learner;
+    learner_options.min_samples =
+        std::max(2, std::min(learner_options.min_samples, (2 * ctx.fanout) / 3));
+    effective_min_samples_ = learner_options.min_samples;
+    learner_ = std::make_unique<OnlineLearner>(ctx.fanout, learner_options);
+  } else {
+    learner_.reset();
+  }
+}
+
+double CedarPolicy::InitialWait(const AggregatorContext& ctx) {
+  // Before any arrival, Cedar can only use the offline fit; the online
+  // estimate takes over as outputs come in.
+  return OfflineOptimalWait(ctx);
+}
+
+double CedarPolicy::OnArrival(const AggregatorContext& ctx, double arrival_time,
+                              const std::vector<double>& arrivals) {
+  (void)arrivals;
+  if (learner_ == nullptr) {
+    return current_wait_;
+  }
+  // The learner models stage durations relative to this tier's dispatch
+  // time. Tier 0 dispatches at 0, so arrivals are durations directly;
+  // clamping guards upper tiers where children may send early.
+  double stage_duration = std::max(arrival_time - ctx.start_offset, 1e-12);
+  learner_->Observe(stage_duration);
+
+  if (learner_->num_observations() < effective_min_samples_) {
+    return current_wait_;
+  }
+  if (++arrivals_since_reopt_ < options_.reoptimize_every) {
+    return current_wait_;
+  }
+  arrivals_since_reopt_ = 0;
+
+  auto fit = learner_->CurrentFit();
+  if (!fit.has_value()) {
+    return current_wait_;
+  }
+  if (options_.use_wait_table) {
+    return ctx.start_offset + TableFor(ctx).LookupSpec(*fit);
+  }
+  auto fitted = MakeDistribution(*fit);
+  double remaining = std::max(0.0, ctx.deadline - ctx.start_offset);
+  WaitDecision decision =
+      OptimizeWait(*fitted, ctx.fanout, *ctx.upper_quality, remaining, ctx.epsilon);
+  return ctx.start_offset + decision.wait;
+}
+
+// ------------------------------------------------------------------- Oracle
+
+OraclePolicy::OraclePolicy() : cache_(std::make_shared<PlanCache>()) {}
+
+std::unique_ptr<WaitPolicy> OraclePolicy::Clone() const {
+  auto clone = std::make_unique<OraclePolicy>();
+  clone->cache_ = cache_;  // share the per-query plan across all nodes
+  return clone;
+}
+
+void OraclePolicy::BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) {
+  WaitPolicy::BeginQuery(ctx, truth);
+  truth_ = truth;
+}
+
+double OraclePolicy::InitialWait(const AggregatorContext& ctx) {
+  CEDAR_CHECK(ctx.offline_tree != nullptr);
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  uint64_t sequence = truth_ != nullptr ? truth_->sequence : 0;
+  if (sequence == 0 || cache_->sequence != sequence || cache_->deadline != ctx.deadline) {
+    TreeSpec tree =
+        truth_ != nullptr ? truth_->OverlayOn(*ctx.offline_tree) : *ctx.offline_tree;
+    QualityGridOptions options;
+    if (ctx.deadline > 0.0 && ctx.epsilon > 0.0) {
+      options.epsilon_fraction = ctx.epsilon / ctx.deadline;
+    }
+    cache_->plan = PlanTree(tree, ctx.deadline, options);
+    cache_->sequence = sequence;
+    cache_->deadline = ctx.deadline;
+  }
+  CEDAR_CHECK_LT(static_cast<size_t>(ctx.tier), cache_->plan.absolute_waits.size());
+  return cache_->plan.absolute_waits[static_cast<size_t>(ctx.tier)];
+}
+
+}  // namespace cedar

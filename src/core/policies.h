@@ -1,0 +1,176 @@
+// Concrete wait policies.
+//
+//  * FixedWaitPolicy        — constant absolute wait (unit tests, ablations)
+//  * EqualSplitPolicy       — deadline divided evenly across stages (§3 fn 3)
+//  * ProportionalSplitPolicy— the paper's main baseline: deadline split in
+//                             proportion to the offline stage means (§3)
+//  * MeanSubtractPolicy     — deadline minus the mean of the upper stages
+//                             (the other straw-man in §3 footnote 3)
+//  * OfflineOptimalPolicy   — CalculateWait on the offline distributions; no
+//                             online learning ("Cedar w/o online learning",
+//                             Figure 11, and the Cosmos regime of Figure 15)
+//  * CedarPolicy            — the full system: offline plan + per-query
+//                             online order-statistics learning at the
+//                             learning tiers, re-optimizing on arrivals
+//  * OraclePolicy           — the "Ideal" scheme: knows the query's true
+//                             distributions a priori, plans optimally
+//
+// All policies are deterministic given their inputs.
+
+#ifndef CEDAR_SRC_CORE_POLICIES_H_
+#define CEDAR_SRC_CORE_POLICIES_H_
+
+#include <memory>
+#include <mutex>
+
+#include "src/core/online_learner.h"
+#include "src/core/policy.h"
+#include "src/core/wait_optimizer.h"
+#include "src/core/wait_table.h"
+
+namespace cedar {
+
+class FixedWaitPolicy final : public WaitPolicy {
+ public:
+  explicit FixedWaitPolicy(double absolute_wait);
+
+  std::string name() const override { return "fixed"; }
+  std::unique_ptr<WaitPolicy> Clone() const override;
+
+ protected:
+  double InitialWait(const AggregatorContext& ctx) override;
+
+ private:
+  double absolute_wait_;
+};
+
+class EqualSplitPolicy final : public WaitPolicy {
+ public:
+  std::string name() const override { return "equal-split"; }
+  std::unique_ptr<WaitPolicy> Clone() const override;
+
+ protected:
+  double InitialWait(const AggregatorContext& ctx) override;
+};
+
+class ProportionalSplitPolicy final : public WaitPolicy {
+ public:
+  std::string name() const override { return "prop-split"; }
+  std::unique_ptr<WaitPolicy> Clone() const override;
+
+ protected:
+  double InitialWait(const AggregatorContext& ctx) override;
+};
+
+class MeanSubtractPolicy final : public WaitPolicy {
+ public:
+  std::string name() const override { return "mean-subtract"; }
+  std::unique_ptr<WaitPolicy> Clone() const override;
+
+ protected:
+  double InitialWait(const AggregatorContext& ctx) override;
+};
+
+class OfflineOptimalPolicy final : public WaitPolicy {
+ public:
+  std::string name() const override { return "cedar-offline"; }
+  std::unique_ptr<WaitPolicy> Clone() const override;
+
+ protected:
+  double InitialWait(const AggregatorContext& ctx) override;
+};
+
+struct CedarPolicyOptions {
+  OnlineLearnerOptions learner;
+
+  // Re-run CalculateWait every n-th arrival once min_samples is reached
+  // (1 = every arrival, as in Pseudocode 1).
+  int reoptimize_every = 1;
+
+  // Only this tier learns online; upper tiers use the offline optimum. The
+  // paper learns the bottom stage per query and fits upper stages offline
+  // (§4.1). Set to -1 to learn at every tier.
+  int learning_tier = 0;
+
+  // §4.3.3 fast path: replace the per-arrival CalculateWait scan with a
+  // bilinear lookup in a precomputed wait table over the learner's fitted
+  // (location, scale) grid. The table is built once per upper-quality curve
+  // and shared across all cloned aggregators; out-of-grid fits clamp to the
+  // table edge. table_spec.family must match learner.family.
+  bool use_wait_table = false;
+  WaitTableSpec table_spec;
+};
+
+class CedarPolicy final : public WaitPolicy {
+ public:
+  explicit CedarPolicy(CedarPolicyOptions options = {});
+
+  std::string name() const override {
+    return options_.learner.use_empirical_estimates ? "cedar-empirical" : "cedar";
+  }
+  std::unique_ptr<WaitPolicy> Clone() const override;
+  void BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) override;
+
+  // Exposes the learner's current fit (tests and diagnostics).
+  const OnlineLearner* learner() const { return learner_ ? learner_.get() : nullptr; }
+
+ protected:
+  double InitialWait(const AggregatorContext& ctx) override;
+  double OnArrival(const AggregatorContext& ctx, double arrival_time,
+                   const std::vector<double>& arrivals) override;
+
+ private:
+  bool LearnsAt(int tier) const {
+    return options_.learning_tier < 0 || tier == options_.learning_tier;
+  }
+
+  // Shared across clones: the precomputed wait table for the current upper
+  // curve (rebuilt when the curve or deadline changes). The returned table
+  // reference stays valid while the upper curve it was built for is the one
+  // in use — i.e. within one query pipeline; concurrent queries with
+  // *different* curves must not share a prototype.
+  struct TableCache {
+    std::mutex mutex;
+    const void* curve_key = nullptr;
+    double deadline = 0.0;
+    std::unique_ptr<WaitTable> table;
+  };
+
+  const WaitTable& TableFor(const AggregatorContext& ctx);
+
+  CedarPolicyOptions options_;
+  std::unique_ptr<OnlineLearner> learner_;
+  std::shared_ptr<TableCache> table_cache_;
+  int effective_min_samples_ = 2;
+  int arrivals_since_reopt_ = 0;
+};
+
+// The Ideal scheme. All clones share a per-query plan cache so the plan for
+// one query's truth is computed once even though every aggregator node owns
+// its own policy instance.
+class OraclePolicy final : public WaitPolicy {
+ public:
+  OraclePolicy();
+
+  std::string name() const override { return "ideal"; }
+  std::unique_ptr<WaitPolicy> Clone() const override;
+  void BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) override;
+
+ protected:
+  double InitialWait(const AggregatorContext& ctx) override;
+
+ private:
+  struct PlanCache {
+    std::mutex mutex;
+    uint64_t sequence = 0;  // 0 = empty/never reuse
+    double deadline = 0.0;
+    TreePlan plan;
+  };
+
+  std::shared_ptr<PlanCache> cache_;
+  const QueryTruth* truth_ = nullptr;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_CORE_POLICIES_H_

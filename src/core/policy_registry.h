@@ -1,0 +1,32 @@
+// Name-based policy construction for CLI tools and config-driven
+// experiments.
+//
+// Recognized names: "cedar", "cedar-empirical", "cedar-offline",
+// "prop-split", "equal-split", "mean-subtract", "ideal", and
+// "fixed:<wait>" (e.g. "fixed:120.5"). Names match WaitPolicy::name() so a
+// round trip through the registry is stable.
+
+#ifndef CEDAR_SRC_CORE_POLICY_REGISTRY_H_
+#define CEDAR_SRC_CORE_POLICY_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/policy.h"
+
+namespace cedar {
+
+// Builds the policy named |name|; fatal on unknown names (listing the
+// available ones). |name| may carry a "fixed:<wait>" parameter.
+std::unique_ptr<WaitPolicy> MakePolicyByName(const std::string& name);
+
+// All constructible names (without the parameterized "fixed:<wait>" form).
+std::vector<std::string> KnownPolicyNames();
+
+// Parses a comma-separated list ("prop-split,cedar,ideal") into policies.
+std::vector<std::unique_ptr<WaitPolicy>> MakePolicyList(const std::string& comma_separated);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_CORE_POLICY_REGISTRY_H_

@@ -1,0 +1,67 @@
+// The recursive maximum-quality function q_n (§4.3 of the paper).
+//
+// q_n(D, X1, k1, ..., Xn, kn) is the maximum expected response quality of an
+// n-stage tree under deadline D, equal to the maximum probability that any
+// one process output reaches the root when every aggregator picks its
+// optimal wait. The base case is q_1(d) = Phi_{Xn}(d); each additional
+// bottom stage is folded in by scanning candidate waits c in steps of eps,
+// accumulating
+//
+//   gain(c) = (Phi_X1(c+eps) - Phi_X1(c)) * q_{n-1}(D - (c+eps))      (Eqn 3)
+//   loss(c) = (Phi_X1(c) - Phi_X1(c)^k1)
+//             * (q_{n-1}(D - c) - q_{n-1}(D - (c+eps)))               (Eqn 4)
+//
+// and taking the running maximum of the partial sums. Curves are tabulated
+// on a uniform grid and linearly interpolated, so building the full curve
+// stack for an n-stage tree costs O(n * (D/eps)^2).
+
+#ifndef CEDAR_SRC_CORE_QUALITY_H_
+#define CEDAR_SRC_CORE_QUALITY_H_
+
+#include <vector>
+
+#include "src/common/math_util.h"
+#include "src/core/tree.h"
+
+namespace cedar {
+
+// Tuning for the quality/wait computations.
+struct QualityGridOptions {
+  // Scan step eps, as a fraction of the deadline. The paper notes eps just
+  // controls discretization error; 1/400 keeps curves smooth while staying
+  // well inside the "tens of milliseconds" compute budget reported in §5.2.
+  double epsilon_fraction = 1.0 / 400.0;
+
+  // Number of points in each tabulated curve (grid covers [0, D]).
+  int grid_points = 401;
+};
+
+// Expected number of outputs received by time t at an aggregator with fanout
+// k over i.i.d. durations with CDF value phi = Phi_X(t), conditioned on not
+// all k having arrived: k * (phi - phi^k) / (1 - phi^k) (Appendix C).
+double ExpectedOutputsGivenNotAll(double phi, int k);
+
+// Tabulates the CDF of |dist| on a uniform grid over [0, max_d]:
+// the base-case curve q_1.
+PiecewiseLinear TabulateCdf(const Distribution& dist, double max_d, int grid_points);
+
+// Builds q for the subtree formed by stages [first_stage, n) of |tree| under
+// deadline budget |max_d|. The returned curve maps a remaining deadline
+// d in [0, max_d] to the maximum expected quality of that subtree.
+PiecewiseLinear BuildQualityCurve(const TreeSpec& tree, int first_stage, double max_d,
+                                  const QualityGridOptions& options = {});
+
+// Builds the whole stack: result[i] is the curve for stages [i, n). Index 0
+// is the full tree; index n-1 is the topmost stage's CDF. All curves share
+// the grid [0, max_d].
+std::vector<PiecewiseLinear> BuildQualityCurveStack(const TreeSpec& tree, double max_d,
+                                                    const QualityGridOptions& options = {});
+
+// One-shot evaluation: maximum expected quality of the whole tree at
+// deadline D (q_n(D)).
+double MaxExpectedQuality(const TreeSpec& tree, double deadline,
+                          const QualityGridOptions& options = {});
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_CORE_QUALITY_H_

@@ -1,0 +1,80 @@
+#include "src/core/tracing_policy.h"
+
+#include "src/common/csv.h"
+#include "src/common/logging.h"
+
+namespace cedar {
+
+void DecisionRecorder::Record(WaitDecisionRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(record);
+}
+
+std::vector<WaitDecisionRecord> DecisionRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::vector<WaitDecisionRecord> DecisionRecorder::ForQuery(uint64_t query_sequence) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WaitDecisionRecord> result;
+  for (const auto& record : records_) {
+    if (record.query_sequence == query_sequence) {
+      result.push_back(record);
+    }
+  }
+  return result;
+}
+
+void DecisionRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+size_t DecisionRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void DecisionRecorder::WriteCsv(const std::string& path) const {
+  auto snapshot = Snapshot();
+  CsvWriter writer(path);
+  writer.Header({"query", "tier", "arrivals", "at_time", "wait"});
+  for (const auto& record : snapshot) {
+    writer.NumericRow({static_cast<double>(record.query_sequence),
+                       static_cast<double>(record.tier), static_cast<double>(record.arrivals),
+                       record.at_time, record.wait});
+  }
+}
+
+TracingPolicy::TracingPolicy(std::unique_ptr<WaitPolicy> inner, DecisionRecorder* recorder)
+    : inner_(std::move(inner)), recorder_(recorder) {
+  CEDAR_CHECK(inner_ != nullptr);
+  CEDAR_CHECK(recorder_ != nullptr);
+}
+
+std::unique_ptr<WaitPolicy> TracingPolicy::Clone() const {
+  return std::make_unique<TracingPolicy>(inner_->Clone(), recorder_);
+}
+
+void TracingPolicy::BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) {
+  WaitPolicy::BeginQuery(ctx, truth);
+  inner_->BeginQuery(ctx, truth);
+  query_sequence_ = truth != nullptr ? truth->sequence : 0;
+}
+
+double TracingPolicy::InitialWait(const AggregatorContext& ctx) {
+  double wait = inner_->DecideInitialWait(ctx);
+  recorder_->Record({query_sequence_, ctx.tier, 0, 0.0, wait});
+  return wait;
+}
+
+double TracingPolicy::OnArrival(const AggregatorContext& ctx, double arrival_time,
+                                const std::vector<double>& arrivals) {
+  double wait = inner_->DecideOnArrival(ctx, arrival_time, arrivals);
+  recorder_->Record(
+      {query_sequence_, ctx.tier, static_cast<int>(arrivals.size()), arrival_time, wait});
+  return wait;
+}
+
+}  // namespace cedar

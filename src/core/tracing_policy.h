@@ -1,0 +1,76 @@
+// TracingPolicy: a decorator that records every wait decision an inner
+// policy makes — the observability hook for debugging aggregator behaviour
+// ("why did this aggregator fold at t=412?"). Works with any WaitPolicy and
+// any engine; the recorder is shared across clones so a whole tree's
+// decisions land in one trace.
+
+#ifndef CEDAR_SRC_CORE_TRACING_POLICY_H_
+#define CEDAR_SRC_CORE_TRACING_POLICY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/policy.h"
+
+namespace cedar {
+
+// One recorded decision.
+struct WaitDecisionRecord {
+  uint64_t query_sequence = 0;
+  int tier = 0;
+  // Number of arrivals seen when the decision was made (0 = initial).
+  int arrivals = 0;
+  // Time of the triggering arrival (0 for the initial decision).
+  double at_time = 0.0;
+  // The decided absolute wait.
+  double wait = 0.0;
+};
+
+// Thread-safe decision sink shared by all clones of a TracingPolicy.
+class DecisionRecorder {
+ public:
+  void Record(WaitDecisionRecord record);
+
+  // Snapshot of everything recorded so far.
+  std::vector<WaitDecisionRecord> Snapshot() const;
+
+  // Decisions of one query, in record order.
+  std::vector<WaitDecisionRecord> ForQuery(uint64_t query_sequence) const;
+
+  void Clear();
+  size_t size() const;
+
+  // Writes the trace as CSV (query,tier,arrivals,at_time,wait).
+  void WriteCsv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<WaitDecisionRecord> records_;
+};
+
+// Wraps |inner|; delegates every call and records the resulting waits into
+// |recorder| (not owned; must outlive all clones).
+class TracingPolicy final : public WaitPolicy {
+ public:
+  TracingPolicy(std::unique_ptr<WaitPolicy> inner, DecisionRecorder* recorder);
+
+  std::string name() const override { return inner_->name(); }
+  std::unique_ptr<WaitPolicy> Clone() const override;
+  void BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) override;
+
+ protected:
+  double InitialWait(const AggregatorContext& ctx) override;
+  double OnArrival(const AggregatorContext& ctx, double arrival_time,
+                   const std::vector<double>& arrivals) override;
+
+ private:
+  std::unique_ptr<WaitPolicy> inner_;
+  DecisionRecorder* recorder_;
+  uint64_t query_sequence_ = 0;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_CORE_TRACING_POLICY_H_

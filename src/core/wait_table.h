@@ -1,0 +1,76 @@
+// Precomputed wait-duration tables (§4.3.3: "one can simply precompute
+// these wait-durations for recorded distributions").
+//
+// A WaitTable fixes the tree *above* an aggregator (the upper quality curve
+// and the fanout) and precomputes the optimal wait over a grid of
+// (location, scale) parameters of the learned bottom-stage distribution.
+// The online path then replaces a full CalculateWait scan (~10^2..10^3 CDF
+// evaluations) with one bilinear interpolation — the fast path for
+// deployments with very tight deadlines or very high aggregator counts.
+//
+// Grids are in the *fitted parameter* space: (mu, sigma) for log-normal,
+// (mean, sd) for normal. Lookups outside the grid are clamped to the edge
+// (with a counter so callers can detect a mis-sized grid).
+
+#ifndef CEDAR_SRC_CORE_WAIT_TABLE_H_
+#define CEDAR_SRC_CORE_WAIT_TABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/core/wait_optimizer.h"
+#include "src/stats/distribution.h"
+
+namespace cedar {
+
+struct WaitTableSpec {
+  DistributionFamily family = DistributionFamily::kLogNormal;
+  // Location (mu / mean) grid.
+  double location_min = 0.0;
+  double location_max = 1.0;
+  int location_points = 33;
+  // Scale (sigma / sd) grid.
+  double scale_min = 0.1;
+  double scale_max = 2.0;
+  int scale_points = 17;
+};
+
+class WaitTable {
+ public:
+  // Precomputes optimal waits for every grid point: |fanout| children with
+  // the parameterized bottom distribution, |upper_quality| above, remaining
+  // deadline |deadline|, scan step |epsilon|. Cost: location_points *
+  // scale_points CalculateWait scans, run once offline.
+  WaitTable(WaitTableSpec spec, int fanout, const PiecewiseLinear& upper_quality,
+            double deadline, double epsilon);
+
+  // Bilinear interpolation of the precomputed wait at the fitted
+  // parameters. Out-of-grid values clamp to the edge.
+  double Lookup(double location, double scale) const;
+
+  // Like Lookup but takes a fitted spec (family must match).
+  double LookupSpec(const DistributionSpec& fitted) const;
+
+  // Number of Lookup calls that clamped at least one axis (atomic: lookups
+  // may come from concurrent aggregators sharing one table).
+  long long clamped_lookups() const { return clamped_lookups_.load(std::memory_order_relaxed); }
+
+  const WaitTableSpec& spec() const { return spec_; }
+  double deadline() const { return deadline_; }
+
+ private:
+  double& At(int li, int si) { return waits_[static_cast<size_t>(li * spec_.scale_points + si)]; }
+  double At(int li, int si) const {
+    return waits_[static_cast<size_t>(li * spec_.scale_points + si)];
+  }
+
+  WaitTableSpec spec_;
+  double deadline_;
+  std::vector<double> waits_;
+  mutable std::atomic<long long> clamped_lookups_{0};
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_CORE_WAIT_TABLE_H_

@@ -1,0 +1,116 @@
+// AggregatorNode: one aggregator instance executing Pseudocode 1 against an
+// EventQueue — arrival handler, timer re-arming, early send when all
+// children have reported, and the upstream send callback. Shared by the
+// analytic tree simulator and the cluster runtime.
+
+#ifndef CEDAR_SRC_SIM_AGGREGATOR_NODE_H_
+#define CEDAR_SRC_SIM_AGGREGATOR_NODE_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/sim/event_queue.h"
+
+namespace cedar {
+
+class AggregatorNode {
+ public:
+  AggregatorNode() = default;
+
+  // |origin| is this aggregator's time zero: policies reason in times
+  // relative to their query's start, so a job arriving mid-simulation sets
+  // origin to its arrival time (multi-query cluster runs) while single-query
+  // replays leave it at 0.
+  void Init(int tier, long long index, std::unique_ptr<WaitPolicy> policy,
+            const AggregatorContext* ctx, double origin = 0.0) {
+    tier_ = tier;
+    index_ = index;
+    policy_ = std::move(policy);
+    ctx_ = ctx;
+    origin_ = origin;
+  }
+
+  WaitPolicy* policy() { return policy_.get(); }
+  int tier() const { return tier_; }
+  long long index() const { return index_; }
+  bool closed() const { return closed_; }
+  double send_time() const { return send_time_; }
+  double included_weight() const { return included_weight_; }
+  int arrivals_count() const { return static_cast<int>(arrivals_.size()); }
+
+  // Arms the initial timer (InitialWait). |send_fn| is invoked exactly once,
+  // at the send, with (*this, accumulated weight).
+  void Start(EventQueue& queue, std::function<void(AggregatorNode&, double)> send_fn) {
+    send_fn_ = std::move(send_fn);
+    double wait = policy_->DecideInitialWait(*ctx_);
+    ArmTimer(queue, wait);
+  }
+
+  // Handles one child output of |weight| arriving now. Late outputs (after
+  // the send) are dropped, matching the model: once the partial result went
+  // upstream, stragglers are ignored.
+  void OnChildOutput(EventQueue& queue, double weight) {
+    if (closed_) {
+      return;
+    }
+    double relative_now = queue.now() - origin_;
+    arrivals_.push_back(relative_now);
+    included_weight_ += weight;
+    if (static_cast<int>(arrivals_.size()) == ctx_->fanout) {
+      Send(queue);  // all children reported: SetTimer(0) in Pseudocode 1
+      return;
+    }
+    double wait = policy_->DecideOnArrival(*ctx_, relative_now, arrivals_);
+    if (wait != armed_wait_) {
+      ArmTimer(queue, wait);
+    }
+  }
+
+ private:
+  void ArmTimer(EventQueue& queue, double wait) {
+    if (timer_handle_ != 0) {
+      queue.Cancel(timer_handle_);
+    }
+    armed_wait_ = wait;
+    double fire_at = std::max(origin_ + wait, queue.now());
+    timer_handle_ = queue.Schedule(fire_at, [this, &queue] {
+      timer_handle_ = 0;
+      Send(queue);
+    });
+  }
+
+  void Send(EventQueue& queue) {
+    if (closed_) {
+      return;
+    }
+    closed_ = true;
+    if (timer_handle_ != 0) {
+      queue.Cancel(timer_handle_);
+      timer_handle_ = 0;
+    }
+    send_time_ = queue.now();
+    send_fn_(*this, included_weight_);
+  }
+
+  int tier_ = 0;
+  long long index_ = 0;
+  double origin_ = 0.0;
+  std::unique_ptr<WaitPolicy> policy_;
+  const AggregatorContext* ctx_ = nullptr;
+  std::function<void(AggregatorNode&, double)> send_fn_;
+
+  std::vector<double> arrivals_;
+  double included_weight_ = 0.0;
+  bool closed_ = false;
+  double send_time_ = 0.0;
+  uint64_t timer_handle_ = 0;
+  double armed_wait_ = -1.0;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_SIM_AGGREGATOR_NODE_H_

@@ -1,0 +1,50 @@
+#include "src/sim/event_queue.h"
+
+#include "src/common/logging.h"
+
+namespace cedar {
+
+uint64_t EventQueue::Schedule(SimTime time, EventCallback callback) {
+  CEDAR_CHECK(time >= now_) << "scheduling into the past: " << time << " < " << now_;
+  CEDAR_CHECK(IsFiniteTime(time)) << "scheduling at non-finite time";
+  Entry entry;
+  entry.time = time;
+  entry.seq = next_seq_++;
+  entry.handle = next_handle_++;
+  entry.callback = std::move(callback);
+  uint64_t handle = entry.handle;
+  heap_.push(std::move(entry));
+  return handle;
+}
+
+void EventQueue::Cancel(uint64_t handle) {
+  if (handle != 0) {
+    cancelled_.insert(handle);
+  }
+}
+
+bool EventQueue::RunOne() {
+  while (!heap_.empty()) {
+    // priority_queue::top returns const&; move via const_cast is the
+    // standard idiom-free workaround — copy the small fields and move the
+    // callback out via a pop-after-copy of the shared_ptr-free closure.
+    Entry entry = heap_.top();
+    heap_.pop();
+    auto it = cancelled_.find(entry.handle);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = entry.time;
+    entry.callback();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::Run() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace cedar

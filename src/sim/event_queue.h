@@ -1,0 +1,74 @@
+// Discrete-event simulation core: a time-ordered event queue with stable
+// FIFO ordering for simultaneous events and O(log n) lazy cancellation.
+// Shared by the aggregation-tree simulator and the cluster runtime.
+
+#ifndef CEDAR_SRC_SIM_EVENT_QUEUE_H_
+#define CEDAR_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time_types.h"
+
+namespace cedar {
+
+using EventCallback = std::function<void()>;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules |callback| at absolute simulated time |time| (must be >= now).
+  // Returns a handle usable with Cancel(). Events at equal times run in
+  // scheduling order.
+  uint64_t Schedule(SimTime time, EventCallback callback);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown handle
+  // is a no-op (timers race with completions by design).
+  void Cancel(uint64_t handle);
+
+  // Runs events until the queue is empty.
+  void Run();
+
+  // Runs the single earliest pending event; returns false if none remain.
+  bool RunOne();
+
+  // Current simulated time (the time of the last event fired).
+  SimTime now() const { return now_; }
+
+  // Number of pending (non-cancelled) events.
+  size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  bool empty() const { return pending() == 0; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    uint64_t handle;
+    EventCallback callback;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  std::unordered_set<uint64_t> cancelled_;
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_handle_ = 1;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,85 @@
+#include "src/sim/experiment.h"
+
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/sim/realization.h"
+
+namespace cedar {
+
+const PolicyOutcome& ExperimentResult::Outcome(const std::string& policy_name) const {
+  for (const auto& outcome : outcomes) {
+    if (outcome.policy_name == policy_name) {
+      return outcome;
+    }
+  }
+  CEDAR_LOG(FATAL) << "no outcome for policy '" << policy_name << "'";
+  __builtin_unreachable();
+}
+
+double ExperimentResult::ImprovementPercent(const std::string& baseline,
+                                            const std::string& treatment) const {
+  return PercentImprovement(Outcome(baseline).MeanQuality(), Outcome(treatment).MeanQuality());
+}
+
+std::vector<double> ExperimentResult::PerQueryImprovementPercent(
+    const std::string& baseline, const std::string& treatment,
+    double min_baseline_quality) const {
+  const auto& base = Outcome(baseline).quality.values();
+  const auto& treat = Outcome(treatment).quality.values();
+  CEDAR_CHECK_EQ(base.size(), treat.size());
+  std::vector<double> improvements;
+  improvements.reserve(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (base[i] < min_baseline_quality) {
+      continue;
+    }
+    improvements.push_back(PercentImprovement(base[i], treat[i]));
+  }
+  return improvements;
+}
+
+double PercentImprovement(double baseline, double treatment) {
+  CEDAR_CHECK_GT(baseline, 0.0) << "baseline quality must be positive for an improvement %";
+  return 100.0 * (treatment - baseline) / baseline;
+}
+
+ExperimentResult RunExperiment(const Workload& workload,
+                               const std::vector<const WaitPolicy*>& policies,
+                               const ExperimentConfig& config) {
+  CEDAR_CHECK(!policies.empty());
+  CEDAR_CHECK_GT(config.num_queries, 0);
+  CEDAR_CHECK_GT(config.deadline, 0.0);
+
+  ExperimentResult result;
+  result.outcomes.resize(policies.size());
+  {
+    std::set<std::string> names;
+    for (size_t p = 0; p < policies.size(); ++p) {
+      result.outcomes[p].policy_name = policies[p]->name();
+      CEDAR_CHECK(names.insert(policies[p]->name()).second)
+          << "duplicate policy name '" << policies[p]->name() << "' in experiment";
+    }
+  }
+
+  TreeSpec offline_tree = workload.OfflineTree();
+  TreeSimulation simulation(offline_tree, config.deadline, config.sim);
+
+  Rng rng(config.seed);
+  uint64_t next_sequence = (config.seed << 20) + 1;
+  for (int q = 0; q < config.num_queries; ++q) {
+    QueryTruth truth = workload.DrawQuery(rng);
+    truth.sequence = next_sequence++;
+    Rng realization_rng = rng.Fork();
+    QueryRealization realization = SampleRealization(offline_tree, truth, realization_rng);
+    for (size_t p = 0; p < policies.size(); ++p) {
+      QueryResult query_result = simulation.RunQuery(*policies[p], realization);
+      result.outcomes[p].quality.Add(query_result.quality);
+      result.outcomes[p].tier0_send_time.Add(query_result.mean_tier0_send_time);
+      result.outcomes[p].root_arrivals_late += query_result.root_arrivals_late;
+    }
+  }
+  return result;
+}
+
+}  // namespace cedar

@@ -1,0 +1,65 @@
+// Experiment runner: replays a set of queries drawn from a workload under
+// several competing policies, on identical realizations, and collects
+// per-query qualities. Every figure harness is a thin loop over this.
+
+#ifndef CEDAR_SRC_SIM_EXPERIMENT_H_
+#define CEDAR_SRC_SIM_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/sample_set.h"
+#include "src/core/policy.h"
+#include "src/sim/tree_simulation.h"
+#include "src/sim/workload.h"
+
+namespace cedar {
+
+struct ExperimentConfig {
+  double deadline = 0.0;
+  int num_queries = 100;
+  uint64_t seed = 42;
+  TreeSimulationOptions sim;
+};
+
+struct PolicyOutcome {
+  std::string policy_name;
+  // One entry per query, same order for every policy (paired samples).
+  SampleSet quality;
+  SampleSet tier0_send_time;
+  long long root_arrivals_late = 0;
+
+  double MeanQuality() const { return quality.empty() ? 0.0 : quality.Mean(); }
+};
+
+struct ExperimentResult {
+  std::vector<PolicyOutcome> outcomes;
+
+  // Outcome by policy name; fatal if absent.
+  const PolicyOutcome& Outcome(const std::string& policy_name) const;
+
+  // 100 * (mean(treatment) - mean(baseline)) / mean(baseline).
+  double ImprovementPercent(const std::string& baseline, const std::string& treatment) const;
+
+  // Per-query percentage improvements (paired), skipping queries whose
+  // baseline quality is below |min_baseline_quality| — the Figure 8 filter
+  // that avoids unboundedly large ratios.
+  std::vector<double> PerQueryImprovementPercent(const std::string& baseline,
+                                                 const std::string& treatment,
+                                                 double min_baseline_quality = 0.05) const;
+};
+
+// Runs |config.num_queries| queries of |workload| under every prototype in
+// |policies| (all policies see identical realizations). Policies are
+// identified by WaitPolicy::name(); names must be unique within the run.
+ExperimentResult RunExperiment(const Workload& workload,
+                               const std::vector<const WaitPolicy*>& policies,
+                               const ExperimentConfig& config);
+
+// Convenience percentage helper used across benches.
+double PercentImprovement(double baseline, double treatment);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_SIM_EXPERIMENT_H_

@@ -1,0 +1,60 @@
+#include "src/sim/realization.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace cedar {
+
+double QueryRealization::TotalWeight() const {
+  if (stage_durations.empty()) {
+    return 0.0;
+  }
+  if (leaf_weights.empty()) {
+    return static_cast<double>(stage_durations[0].size());
+  }
+  double total = 0.0;
+  for (double w : leaf_weights) {
+    total += w;
+  }
+  return total;
+}
+
+long long StageEdgeCount(const TreeSpec& tree, int stage) {
+  CEDAR_CHECK(stage >= 0 && stage < tree.num_stages());
+  long long count = 1;
+  for (int j = stage; j < tree.num_stages(); ++j) {
+    count *= tree.stage(j).fanout;
+  }
+  return count;
+}
+
+QueryRealization SampleRealization(const TreeSpec& tree, const QueryTruth& truth, Rng& rng) {
+  CEDAR_CHECK_EQ(static_cast<int>(truth.stage_durations.size()), tree.num_stages());
+  QueryRealization realization;
+  realization.truth = truth;
+  realization.stage_durations.resize(static_cast<size_t>(tree.num_stages()));
+  for (int i = 0; i < tree.num_stages(); ++i) {
+    const Distribution& dist = *truth.stage_durations[static_cast<size_t>(i)];
+    long long edges = StageEdgeCount(tree, i);
+    auto& durations = realization.stage_durations[static_cast<size_t>(i)];
+    durations.resize(static_cast<size_t>(edges));
+    for (auto& d : durations) {
+      d = dist.Sample(rng);
+    }
+  }
+  return realization;
+}
+
+QueryRealization SampleWeightedRealization(const TreeSpec& tree, const QueryTruth& truth,
+                                           const Distribution& weight_dist, Rng& rng) {
+  QueryRealization realization = SampleRealization(tree, truth, rng);
+  realization.leaf_weights.resize(realization.stage_durations[0].size());
+  for (auto& w : realization.leaf_weights) {
+    // Output relevance cannot be negative; clamp pathological draws.
+    w = std::max(0.0, weight_dist.Sample(rng));
+  }
+  return realization;
+}
+
+}  // namespace cedar

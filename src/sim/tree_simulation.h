@@ -1,0 +1,90 @@
+// Discrete-event simulation of one aggregation query (Pseudocode 1 executed
+// at every aggregator of the tree).
+//
+// Semantics, matching the paper's model (Figure 5):
+//  * All leaf processes are dispatched at time 0; process j under tier-0
+//    aggregator a finishes at its sampled stage-0 duration.
+//  * Each aggregator consults its WaitPolicy: an initial wait before any
+//    arrival, and an updated wait after every arrival. When its timer
+//    expires — or all children have reported — it sends its partial result
+//    upstream; shipping takes the sampled next-stage duration.
+//  * Late child outputs (after the send) are dropped.
+//  * The root includes a top-tier aggregator's result iff it arrives by the
+//    deadline D; a missed aggregator forfeits all the process outputs it
+//    had collected.
+//  * Quality = (weight of process outputs included at the root) /
+//    (total weight), the paper's §3 metric (Appendix A weighting optional).
+
+#ifndef CEDAR_SRC_SIM_TREE_SIMULATION_H_
+#define CEDAR_SRC_SIM_TREE_SIMULATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/core/quality.h"
+#include "src/core/tree.h"
+#include "src/sim/realization.h"
+
+namespace cedar {
+
+struct QueryResult {
+  // Fraction of (weighted) process outputs included at the root.
+  double quality = 0.0;
+
+  // Weighted outputs included / total.
+  double included_weight = 0.0;
+  double total_weight = 0.0;
+
+  // Top-tier results that reached the root in time / total top-tier nodes.
+  long long root_arrivals_in_time = 0;
+  long long root_arrivals_late = 0;
+
+  // Mean absolute send time of tier-0 aggregators (diagnostic: what wait the
+  // policy effectively chose).
+  double mean_tier0_send_time = 0.0;
+};
+
+struct TreeSimulationOptions {
+  QualityGridOptions grid;
+
+  // Knowledge model for the upper stages (X2..Xn). Aggregator-side
+  // operations are standard functions whose duration distributions a
+  // production system profiles offline per query class (§4.1 of the paper);
+  // when true, the quality curves handed to optimizing policies
+  // (ctx.upper_quality) are built from the query's true upper-stage
+  // distributions, while the bottom stage X1 remains offline/global and
+  // must be learned online. Proportional-split and the other straw-men
+  // ignore the curves, so they keep using global means either way. Set to
+  // false to model fully-stale upper knowledge.
+  bool per_query_upper_knowledge = true;
+};
+
+// Shared per-(offline tree, deadline) simulation state: the offline quality
+// curves every policy consults. Construct once, run many queries.
+class TreeSimulation {
+ public:
+  TreeSimulation(TreeSpec offline_tree, double deadline, TreeSimulationOptions options = {});
+
+  // Replays |realization| under |policy_prototype| (cloned per aggregator).
+  QueryResult RunQuery(const WaitPolicy& policy_prototype,
+                       const QueryRealization& realization) const;
+
+  const TreeSpec& offline_tree() const { return offline_tree_; }
+  double deadline() const { return deadline_; }
+  double epsilon() const { return epsilon_; }
+
+  // Offline q-curve of stages [tier+1, n) — what ctx.upper_quality points at.
+  const PiecewiseLinear& UpperQualityCurve(int tier) const;
+
+ private:
+  TreeSpec offline_tree_;
+  double deadline_;
+  TreeSimulationOptions options_;
+  double epsilon_;
+  std::vector<PiecewiseLinear> curve_stack_;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_SIM_TREE_SIMULATION_H_

@@ -1,0 +1,66 @@
+// Workload: the stochastic description of a stream of aggregation queries.
+//
+// A workload supplies (a) the *offline* tree — fanouts plus the global stage
+// distributions the system has learned from completed queries (what
+// Proportional-split and Cedar's initial wait use), and (b) per-query *true*
+// distributions, which may vary query to query (the variation Cedar's online
+// learning exploits and the single global fit misses). Concrete production
+// workloads (Facebook, Google, Bing, Cosmos, Gaussian) live in src/trace/.
+
+#ifndef CEDAR_SRC_SIM_WORKLOAD_H_
+#define CEDAR_SRC_SIM_WORKLOAD_H_
+
+#include <string>
+
+#include "src/core/policy.h"
+#include "src/core/tree.h"
+#include "src/stats/rng.h"
+
+namespace cedar {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  // Unit of every duration this workload produces ("s", "ms", "us").
+  virtual std::string time_unit() const = 0;
+
+  // The tree with offline/global stage distributions.
+  virtual TreeSpec OfflineTree() const = 0;
+
+  // Draws one query's true stage distributions.
+  virtual QueryTruth DrawQuery(Rng& rng) const = 0;
+};
+
+// A trivial workload where every query is exactly the offline tree (no
+// per-query variation). Useful for tests and for the Cosmos regime where
+// only global phase statistics exist.
+class StationaryWorkload final : public Workload {
+ public:
+  StationaryWorkload(std::string name, std::string unit, TreeSpec tree)
+      : name_(std::move(name)), unit_(std::move(unit)), tree_(std::move(tree)) {}
+
+  std::string name() const override { return name_; }
+  std::string time_unit() const override { return unit_; }
+  TreeSpec OfflineTree() const override { return tree_; }
+
+  QueryTruth DrawQuery(Rng& rng) const override {
+    (void)rng;
+    QueryTruth truth;
+    for (const auto& stage : tree_.stages()) {
+      truth.stage_durations.push_back(stage.duration);
+    }
+    return truth;
+  }
+
+ private:
+  std::string name_;
+  std::string unit_;
+  TreeSpec tree_;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_SIM_WORKLOAD_H_

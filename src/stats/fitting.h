@@ -1,0 +1,74 @@
+// Offline distribution-type fitting from percentile values (§4.2.1).
+//
+// The paper periodically fits percentile values of completed queries with the
+// rriskDistributions R package to choose the distribution *type*; parameters
+// are then learned online per query. This module reproduces that step: given
+// (percentile, value) pairs, each candidate family is fitted by least squares
+// in a linearizing transform of its quantile function, and families are
+// ranked by relative RMS error of the reproduced percentile values.
+
+#ifndef CEDAR_SRC_STATS_FITTING_H_
+#define CEDAR_SRC_STATS_FITTING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/stats/distribution.h"
+
+namespace cedar {
+
+// One (p, value) observation: the p-quantile of the data is |value|.
+struct PercentilePoint {
+  double p = 0.0;      // in (0, 1)
+  double value = 0.0;  // observed quantile
+};
+
+// A fitted candidate.
+struct DistributionFit {
+  DistributionSpec spec;
+  // Relative RMS error across the input percentiles:
+  // sqrt(mean(((fitted_quantile - value) / value)^2)).
+  double relative_rms_error = 0.0;
+  // Worst single-percentile relative error.
+  double max_relative_error = 0.0;
+};
+
+class DistributionFitter {
+ public:
+  DistributionFitter();
+
+  // Restricts candidates (default: lognormal, normal, exponential, pareto,
+  // weibull, uniform).
+  void SetCandidates(std::vector<DistributionFamily> families);
+
+  // Fits every candidate family to the percentile points and returns fits
+  // sorted by ascending relative RMS error. Families whose constraints are
+  // violated by the data (e.g. nonpositive values for log-normal) are
+  // omitted. Requires >= 2 points with p in (0,1) and distinct values.
+  std::vector<DistributionFit> FitPercentiles(const std::vector<PercentilePoint>& points) const;
+
+  // Convenience: extracts a standard percentile grid from raw samples and
+  // fits it. |grid| defaults to {1,5,10,25,50,75,90,95,99}th percentiles.
+  std::vector<DistributionFit> FitSamples(const std::vector<double>& samples,
+                                          const std::vector<double>& grid = {}) const;
+
+  // Best fit or fatal if nothing fits.
+  DistributionFit BestFit(const std::vector<PercentilePoint>& points) const;
+
+ private:
+  std::vector<DistributionFamily> candidates_;
+};
+
+// Evaluates how well |spec| reproduces the percentile points (same error
+// metrics as DistributionFit). Exposed for tests and EXPERIMENTS.md tables.
+DistributionFit EvaluateFit(const DistributionSpec& spec,
+                            const std::vector<PercentilePoint>& points);
+
+// Kolmogorov-Smirnov statistic of |samples| against |dist|:
+// sup_x |ECDF(x) - CDF(x)|. Used as the fit-quality check of the offline
+// type-fitting step (and by tests to validate the synthetic workloads).
+double KolmogorovSmirnovStatistic(std::vector<double> samples, const Distribution& dist);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_STATS_FITTING_H_

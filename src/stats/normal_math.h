@@ -1,0 +1,23 @@
+// Special functions for the standard normal distribution: density, CDF, and
+// quantile (inverse CDF). The quantile uses Acklam's rational approximation
+// refined by one Halley step, giving ~1e-15 relative accuracy — these feed
+// the order-statistic scores and all percentile fitting, so precision
+// matters.
+
+#ifndef CEDAR_SRC_STATS_NORMAL_MATH_H_
+#define CEDAR_SRC_STATS_NORMAL_MATH_H_
+
+namespace cedar {
+
+// Standard normal density phi(x).
+double NormalPdf(double x);
+
+// Standard normal CDF Phi(x), accurate in both tails (erfc based).
+double NormalCdf(double x);
+
+// Inverse standard normal CDF; p must be in (0, 1).
+double NormalQuantile(double p);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_STATS_NORMAL_MATH_H_

@@ -1,0 +1,90 @@
+#include "src/stats/rng.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace cedar {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+  // xoshiro requires a non-zero state; SplitMix64 output of any seed gives
+  // four words that are all zero with probability ~2^-256, but be explicit.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ull;
+  }
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256** step.
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextOpenDouble() {
+  double u = NextDouble();
+  // Map 0 to the smallest representable step so quantile transforms of
+  // unbounded distributions never see exactly 0 or 1.
+  if (u <= 0.0) {
+    return 0x1.0p-53;
+  }
+  return u;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  CEDAR_CHECK_GT(bound, 0u);
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box–Muller on open uniforms.
+  double u1 = NextOpenDouble();
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * M_PI * u2;
+  spare_gaussian_ = radius * std::sin(angle);
+  has_spare_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ull); }
+
+}  // namespace cedar

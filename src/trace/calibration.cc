@@ -1,0 +1,14 @@
+#include "src/trace/calibration.h"
+
+#include <cmath>
+
+namespace cedar {
+
+double EffectiveMarginalSigma(double sigma0, double mu_spread, double sigma_spread) {
+  // ln X = mu_q + sigma_q Z with mu_q ~ N(mu0, mu_spread^2). For fixed
+  // sigma the marginal is exactly N(mu0, sigma0^2 + mu_spread^2); the
+  // sigma_q jitter adds its variance to second order.
+  return std::sqrt(sigma0 * sigma0 + mu_spread * mu_spread + sigma_spread * sigma_spread);
+}
+
+}  // namespace cedar

@@ -1,0 +1,88 @@
+// Calibration constants for the production-trace substitutes.
+//
+// The paper publishes log-normal fits for three of its four traces and
+// qualitative statistics for the rest. Constants marked [paper] are taken
+// verbatim from the paper; constants marked [chosen] are our substitution
+// choices, documented in DESIGN.md §2, selected to reproduce the described
+// qualitative regime (magnitude ordering, variation ratios, deadline
+// ranges).
+
+#ifndef CEDAR_SRC_TRACE_CALIBRATION_H_
+#define CEDAR_SRC_TRACE_CALIBRATION_H_
+
+namespace cedar {
+
+// ----------------------------------------------------------------- Facebook
+// Hadoop cluster, task durations in SECONDS. Map-task fit published in
+// Figure 9's caption. Reduce parameters chosen so aggregator work is of the
+// same order but longer on average, as in MapReduce practice.
+// Reference per-query map-task fit, published in Figure 9's caption.
+inline constexpr double kFacebookMapMu = 2.77;     // [paper]
+inline constexpr double kFacebookMapSigma = 0.84;  // [paper]
+
+// Across-job meta-distribution for the replay workload. The paper prunes
+// the trace to jobs with > 2500 map tasks — large jobs whose stage scales
+// are commensurate with its 500-3000 s deadline axis — and reports task
+// durations varying by ~1600x across the trace. The job-level location
+// centers and spreads below reproduce that regime: a typical job's map fit
+// has the published sigma, job means span roughly e^{4*1.3} ~ 180x, and the
+// overall duration range exceeds 1000x. [chosen]
+inline constexpr double kFacebookJobMapMu = 5.00;
+inline constexpr double kFacebookJobReduceMu = 4.30;
+inline constexpr double kFacebookReduceSigma = 0.95;  // [chosen]
+inline constexpr double kFacebookMapMuSpread = 0.50;
+inline constexpr double kFacebookMapSigmaSpread = 0.15;
+// Right-skew of map-stage job scales: most jobs are moderate, a heavy tail
+// is much larger (see MetaLogNormalStage::mu_tail_rate). This inflates the
+// global mean Proportional-split divides by, reproducing §3.2's failure
+// mode. [chosen]
+inline constexpr double kFacebookMapTailRate = 1.15;
+// Reduce durations also vary strongly across jobs in the trace; unlike the
+// map stage, their per-job distribution is treated as offline-profiled
+// knowledge (standard aggregation operators, §4.1), not learned online.
+// [chosen]
+inline constexpr double kFacebookReduceMuSpread = 0.40;
+inline constexpr double kFacebookReduceSigmaSpread = 0.12;
+
+// ------------------------------------------------------------------- Google
+// Search cluster, durations in MILLISECONDS (median 19 ms, p99 > 65 ms).
+inline constexpr double kGoogleMu = 2.94;     // [paper]
+inline constexpr double kGoogleSigma = 0.55;  // [paper]
+
+// --------------------------------------------------------------------- Bing
+// RTTs in MICROSECONDS (median 330 us, p90 1.1 ms, p99 14 ms).
+inline constexpr double kBingMu = 5.9;      // [paper]
+inline constexpr double kBingSigma = 1.25;  // [paper]
+// Published percentiles of Figure 4, for fitting demonstrations.
+inline constexpr double kBingMedianUs = 330.0;  // [paper]
+inline constexpr double kBingP90Us = 1100.0;    // [paper]
+inline constexpr double kBingP99Us = 14000.0;   // [paper]
+
+// ------------------------------------------------------------------- Cosmos
+// Analytics cluster, SECONDS. Only per-phase statistics were available to
+// the authors (no per-job durations, §5.6), so the workload is stationary;
+// parameters chosen for variation larger than Google's, comparable to
+// Facebook's. [chosen]
+inline constexpr double kCosmosExtractMu = 3.0;
+inline constexpr double kCosmosExtractSigma = 1.60;
+inline constexpr double kCosmosFullAggMu = 1.8;
+inline constexpr double kCosmosFullAggSigma = 0.50;
+
+// ------------------------------------------------------------- Figure 17
+// Gaussian experiment, MILLISECONDS: mean 40 at both levels, sd 80 bottom /
+// 10 top. [paper]
+inline constexpr double kGaussianMeanMs = 40.0;
+inline constexpr double kGaussianBottomSd = 80.0;
+inline constexpr double kGaussianTopSd = 10.0;
+
+// Default fanout used throughout the evaluation (from Bing's cluster). [paper]
+inline constexpr int kDefaultFanout = 50;
+
+// The effective sigma of the across-query marginal of a log-normal mixture
+// whose per-query mu is N(mu0, mu_spread) and sigma is ~sigma0: what a
+// global offline fit over completed queries would learn.
+double EffectiveMarginalSigma(double sigma0, double mu_spread, double sigma_spread);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_TRACE_CALIBRATION_H_

@@ -1,0 +1,62 @@
+// Trace persistence: query sets (per-query stage distribution parameters)
+// and raw task-duration traces as CSV, plus a replay workload that serves a
+// loaded query set in order. This is the substitute for the paper's
+// replaying of production job traces.
+
+#ifndef CEDAR_SRC_TRACE_TRACE_IO_H_
+#define CEDAR_SRC_TRACE_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/workload.h"
+#include "src/stats/distribution.h"
+
+namespace cedar {
+
+// One recorded query: the true DistributionSpec of every stage.
+struct QueryRecord {
+  std::vector<DistributionSpec> stages;
+};
+
+// A materialized trace: fixed fanouts plus per-query records. unit/name are
+// carried for reporting.
+struct QueryTrace {
+  std::string name;
+  std::string unit;
+  std::vector<int> fanouts;
+  std::vector<QueryRecord> queries;
+};
+
+// Draws |num_queries| queries from |workload| into a trace (fanouts taken
+// from the workload's offline tree).
+QueryTrace MaterializeTrace(const Workload& workload, int num_queries, uint64_t seed);
+
+// CSV round-trip. Columns: query, stage, family, p1, p2 (+ header comment
+// row carrying name/unit/fanouts).
+void SaveQueryTrace(const QueryTrace& trace, const std::string& path);
+QueryTrace LoadQueryTrace(const std::string& path);
+
+// Serves the recorded queries in order, cycling when exhausted. OfflineTree
+// reports the distributions fitted over ALL recorded queries' samples —
+// what a production system would have learned from its history.
+class ReplayWorkload final : public Workload {
+ public:
+  explicit ReplayWorkload(QueryTrace trace);
+
+  std::string name() const override { return trace_.name + "+replay"; }
+  std::string time_unit() const override { return trace_.unit; }
+  TreeSpec OfflineTree() const override;
+  QueryTruth DrawQuery(Rng& rng) const override;
+
+  const QueryTrace& trace() const { return trace_; }
+
+ private:
+  QueryTrace trace_;
+  TreeSpec offline_tree_;
+  mutable size_t next_query_ = 0;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,141 @@
+#include "src/apps/analytics_service.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies.h"
+
+namespace cedar {
+namespace {
+
+FactTableSpec SmallTable() {
+  FactTableSpec spec;
+  spec.rows = 40000;
+  spec.num_groups = 8;
+  spec.num_partitions = 80;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(FactTableTest, PartialsSumToExact) {
+  FactTable table(SmallTable());
+  GroupPartial total;
+  total.sums.assign(8, 0.0);
+  total.counts.assign(8, 0);
+  for (int p = 0; p < table.num_partitions(); ++p) {
+    total.Accumulate(table.PartitionPartial(p));
+  }
+  int64_t rows = 0;
+  for (size_t g = 0; g < 8; ++g) {
+    ASSERT_GT(total.counts[g], 0);
+    EXPECT_NEAR(total.sums[g] / static_cast<double>(total.counts[g]),
+                table.ExactGroupMeans()[g], 1e-9)
+        << "group " << g;
+    rows += total.counts[g];
+  }
+  EXPECT_EQ(rows, 40000);
+}
+
+TEST(FactTableTest, GroupMeansSpreadAsSpecified) {
+  FactTable table(SmallTable());
+  for (double mean : table.ExactGroupMeans()) {
+    EXPECT_GT(mean, 5.0);
+    EXPECT_LT(mean, 3000.0);
+  }
+}
+
+class AnalyticsServiceTest : public ::testing::Test {
+ protected:
+  AnalyticsServiceTest()
+      : table_(SmallTable()),
+        tree_(TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(2.5, 0.8), 10,
+                                 std::make_shared<LogNormalDistribution>(2.0, 0.6), 8)) {}
+
+  QueryRealization MakeRealization(uint64_t seed, uint64_t sequence = 1) {
+    QueryTruth truth;
+    truth.sequence = sequence;
+    truth.stage_durations.push_back(tree_.stage(0).duration);
+    truth.stage_durations.push_back(tree_.stage(1).duration);
+    Rng rng(seed);
+    return SampleRealization(tree_, truth, rng);
+  }
+
+  FactTable table_;
+  TreeSpec tree_;
+};
+
+TEST_F(AnalyticsServiceTest, GenerousDeadlineExactAnswer) {
+  AnalyticsServiceConfig config;
+  config.deadline = 1e5;
+  AnalyticsService service(&table_, tree_, config);
+  CedarPolicy cedar;
+  auto outcome = service.RunQuery(cedar, MakeRealization(3));
+  EXPECT_DOUBLE_EQ(outcome.fraction_quality, 1.0);
+  EXPECT_NEAR(outcome.mean_relative_error, 0.0, 1e-12);
+  EXPECT_EQ(outcome.groups_answered, 8);
+}
+
+TEST_F(AnalyticsServiceTest, ErrorShrinksWithDeadline) {
+  CedarPolicy cedar;
+  double prev_error = 2.0;
+  for (double deadline : {20.0, 40.0, 80.0, 160.0}) {
+    AnalyticsServiceConfig config;
+    config.deadline = deadline;
+    AnalyticsService service(&table_, tree_, config);
+    auto outcome = service.RunQuery(cedar, MakeRealization(7));
+    EXPECT_LE(outcome.mean_relative_error, prev_error + 0.05) << "deadline " << deadline;
+    prev_error = outcome.mean_relative_error;
+  }
+  EXPECT_LT(prev_error, 0.05) << "at 160 units the answer should be nearly exact";
+}
+
+TEST_F(AnalyticsServiceTest, PartialInclusionStillAnswersMostGroups) {
+  // Even at a tight deadline, included partitions carry all groups (rows
+  // are group-uniform), so the error comes from sampling, not from missing
+  // groups entirely.
+  AnalyticsServiceConfig config;
+  config.deadline = 30.0;
+  AnalyticsService service(&table_, tree_, config);
+  CedarPolicy cedar;
+  auto outcome = service.RunQuery(cedar, MakeRealization(9));
+  if (outcome.partitions_included > 0) {
+    EXPECT_EQ(outcome.groups_answered, 8);
+    EXPECT_LT(outcome.mean_relative_error, 0.2);
+  }
+}
+
+TEST_F(AnalyticsServiceTest, ZeroInclusionGivesErrorOne) {
+  AnalyticsServiceConfig config;
+  config.deadline = 1.0;  // below any latency sample
+  AnalyticsService service(&table_, tree_, config);
+  FixedWaitPolicy fixed(0.5);
+  auto outcome = service.RunQuery(fixed, MakeRealization(11));
+  EXPECT_EQ(outcome.partitions_included, 0);
+  EXPECT_DOUBLE_EQ(outcome.mean_relative_error, 1.0);
+  EXPECT_EQ(outcome.groups_answered, 0);
+}
+
+TEST_F(AnalyticsServiceTest, DeterministicReplay) {
+  AnalyticsServiceConfig config;
+  config.deadline = 50.0;
+  AnalyticsService service(&table_, tree_, config);
+  CedarPolicy cedar;
+  auto realization = MakeRealization(13);
+  auto a = service.RunQuery(cedar, realization);
+  auto b = service.RunQuery(cedar, realization);
+  EXPECT_DOUBLE_EQ(a.mean_relative_error, b.mean_relative_error);
+  EXPECT_EQ(a.partitions_included, b.partitions_included);
+}
+
+TEST(AnalyticsServiceDeathTest, PartitionMismatchDies) {
+  FactTable table(SmallTable());
+  TreeSpec tree = TreeSpec::TwoLevel(std::make_shared<ExponentialDistribution>(1.0), 7,
+                                     std::make_shared<ExponentialDistribution>(1.0), 7);
+  AnalyticsServiceConfig config;
+  config.deadline = 10.0;
+  EXPECT_DEATH(AnalyticsService(&table, tree, config), "cover every partition");
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,212 @@
+#include "src/cluster/cluster_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/experiment.h"
+#include "src/core/policies.h"
+#include "src/trace/workloads.h"
+
+namespace cedar {
+namespace {
+
+TreeSpec SmallTree(int k1 = 4, int k2 = 3) {
+  return TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(2.0, 0.8), k1,
+                            std::make_shared<LogNormalDistribution>(2.0, 0.5), k2);
+}
+
+QueryTruth TruthOf(const TreeSpec& tree, uint64_t sequence = 1) {
+  QueryTruth truth;
+  truth.sequence = sequence;
+  for (const auto& stage : tree.stages()) {
+    truth.stage_durations.push_back(stage.duration);
+  }
+  return truth;
+}
+
+ClusterSpec TinyCluster(int machines, int slots) {
+  ClusterSpec cluster;
+  cluster.machines = machines;
+  cluster.slots_per_machine = slots;
+  return cluster;
+}
+
+TEST(ClusterRuntimeTest, SingleWaveMatchesTreeSimulation) {
+  // With at least as many slots as tasks there is no queueing, so the
+  // cluster engine must agree exactly with the analytic simulator.
+  TreeSpec tree = SmallTree();
+  Rng rng(3);
+  auto realization = SampleRealization(tree, TruthOf(tree), rng);
+
+  TreeSimulation sim(tree, 60.0);
+  ClusterRuntime cluster(TinyCluster(4, 3), tree, 60.0);  // 12 slots for 12 tasks
+
+  for (const WaitPolicy* policy : std::initializer_list<const WaitPolicy*>{
+           new FixedWaitPolicy(20.0), new ProportionalSplitPolicy(), new CedarPolicy()}) {
+    QueryResult expected = sim.RunQuery(*policy, realization);
+    ClusterQueryResult actual = cluster.RunQuery(*policy, realization);
+    EXPECT_DOUBLE_EQ(actual.quality, expected.quality) << policy->name();
+    EXPECT_EQ(actual.root_arrivals_in_time, expected.root_arrivals_in_time) << policy->name();
+    delete policy;
+  }
+}
+
+TEST(ClusterRuntimeTest, WaveCountReported) {
+  TreeSpec tree = SmallTree(10, 4);  // 40 tasks
+  ClusterRuntime cluster(TinyCluster(2, 5), tree, 200.0);  // 10 slots
+  Rng rng(5);
+  auto realization = SampleRealization(tree, TruthOf(tree), rng);
+  FixedWaitPolicy policy(150.0);
+  ClusterQueryResult result = cluster.RunQuery(policy, realization);
+  EXPECT_EQ(result.waves, 4);
+  EXPECT_EQ(result.tasks_launched, 40);
+}
+
+TEST(ClusterRuntimeTest, QueueingDelaysArrivals) {
+  // Same realization on an ample vs a tiny cluster: the tiny cluster's
+  // makespan must be strictly larger (tasks wait for slots).
+  TreeSpec tree = SmallTree(10, 4);
+  Rng rng(7);
+  auto realization = SampleRealization(tree, TruthOf(tree), rng);
+  FixedWaitPolicy policy(1e5);
+  ClusterRuntime ample(TinyCluster(40, 1), tree, 2e5);
+  ClusterRuntime tiny(TinyCluster(2, 2), tree, 2e5);
+  ClusterQueryResult fast = ample.RunQuery(policy, realization);
+  ClusterQueryResult slow = tiny.RunQuery(policy, realization);
+  EXPECT_GT(slow.makespan, fast.makespan);
+  // Both eventually deliver everything under the huge deadline.
+  EXPECT_DOUBLE_EQ(fast.quality, 1.0);
+  EXPECT_DOUBLE_EQ(slow.quality, 1.0);
+}
+
+TEST(ClusterRuntimeTest, DeterministicReplay) {
+  TreeSpec tree = SmallTree(8, 3);
+  ClusterRuntime cluster(TinyCluster(3, 3), tree, 80.0);
+  Rng rng(11);
+  auto realization = SampleRealization(tree, TruthOf(tree), rng);
+  CedarPolicy cedar;
+  ClusterQueryResult a = cluster.RunQuery(cedar, realization);
+  ClusterQueryResult b = cluster.RunQuery(cedar, realization);
+  EXPECT_DOUBLE_EQ(a.quality, b.quality);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.tasks_launched, b.tasks_launched);
+}
+
+TEST(ClusterRuntimeTest, SpeculationLaunchesAndAccountsClones) {
+  // One monster task; speculation should clone it once slots idle.
+  TreeSpec tree = SmallTree(6, 1);
+  QueryRealization realization;
+  realization.truth = TruthOf(tree);
+  realization.stage_durations = {{1.0, 1.0, 1.0, 1.0, 1.0, 500.0}, {1.0}};
+
+  ClusterRunOptions options;
+  options.speculation.enabled = true;
+  options.speculation.slowdown_threshold = 2.0;
+  ClusterRuntime cluster(TinyCluster(6, 1), tree, 1000.0, options);
+  FixedWaitPolicy policy(900.0);
+  ClusterQueryResult result = cluster.RunQuery(policy, realization);
+  EXPECT_GE(result.clones_launched, 1);
+  // The clone redraws from lognormal(2.0, 0.8) (median ~7.4), so it should
+  // beat the 500-unit straggler and the job completes early.
+  EXPECT_EQ(result.clones_won, 1);
+  EXPECT_LT(result.makespan, 500.0);
+  EXPECT_DOUBLE_EQ(result.quality, 1.0);
+}
+
+TEST(ClusterRuntimeTest, SpeculationDisabledLaunchesNoClones) {
+  TreeSpec tree = SmallTree(6, 1);
+  QueryRealization realization;
+  realization.truth = TruthOf(tree);
+  realization.stage_durations = {{1.0, 1.0, 1.0, 1.0, 1.0, 500.0}, {1.0}};
+  ClusterRuntime cluster(TinyCluster(6, 1), tree, 1000.0);
+  FixedWaitPolicy policy(900.0);
+  ClusterQueryResult result = cluster.RunQuery(policy, realization);
+  EXPECT_EQ(result.clones_launched, 0);
+  EXPECT_GE(result.makespan, 500.0);
+}
+
+TEST(ClusterRuntimeTest, SlowMachinesStretchTasks) {
+  // All machines slow by 3x: with a fixed wait shorter than the stretched
+  // durations, fewer outputs are collected than on a healthy cluster.
+  TreeSpec tree = SmallTree(10, 4);
+  Rng rng(21);
+  auto realization = SampleRealization(tree, TruthOf(tree), rng);
+  FixedWaitPolicy policy(30.0);
+
+  ClusterSpec healthy = TinyCluster(10, 4);
+  ClusterSpec degraded = TinyCluster(10, 4);
+  degraded.slow_machine_fraction = 1.0;
+  degraded.slow_machine_factor = 3.0;
+
+  ClusterRuntime fast(healthy, tree, 500.0);
+  ClusterRuntime slow(degraded, tree, 500.0);
+  ClusterQueryResult fast_result = fast.RunQuery(policy, realization);
+  ClusterQueryResult slow_result = slow.RunQuery(policy, realization);
+  EXPECT_LT(slow_result.quality, fast_result.quality);
+  EXPECT_GT(slow_result.makespan, fast_result.makespan);
+}
+
+TEST(ClusterSpecTest, SlotSpeedFactorMapsMachines) {
+  ClusterSpec spec;
+  spec.machines = 10;
+  spec.slots_per_machine = 2;
+  spec.slow_machine_fraction = 0.3;  // machines 0,1,2 slow
+  spec.slow_machine_factor = 5.0;
+  EXPECT_EQ(spec.SlowMachines(), 3);
+  EXPECT_DOUBLE_EQ(spec.SlotSpeedFactor(0), 5.0);   // machine 0
+  EXPECT_DOUBLE_EQ(spec.SlotSpeedFactor(5), 5.0);   // machine 2
+  EXPECT_DOUBLE_EQ(spec.SlotSpeedFactor(6), 1.0);   // machine 3
+  EXPECT_DOUBLE_EQ(spec.SlotSpeedFactor(19), 1.0);  // machine 9
+}
+
+TEST(ClusterRuntimeTest, SpeculationEscapesSlowMachines) {
+  // A hot spot slows 25% of machines by 8x; speculation re-runs stragglers
+  // and clones can land on healthy slots, improving quality.
+  TreeSpec tree = SmallTree(10, 8);  // 80 tasks
+  Rng rng(31);
+  auto realization = SampleRealization(tree, TruthOf(tree), rng);
+
+  ClusterSpec spotty = TinyCluster(25, 4);  // 100 slots: some idle for clones
+  spotty.slow_machine_fraction = 0.25;
+  spotty.slow_machine_factor = 8.0;
+
+  FixedWaitPolicy policy(400.0);
+  ClusterRuntime plain(spotty, tree, 500.0);
+  ClusterRunOptions with_spec;
+  with_spec.speculation.enabled = true;
+  with_spec.speculation.max_clones = 64;
+  ClusterRuntime speculative(spotty, tree, 500.0, with_spec);
+
+  ClusterQueryResult plain_result = plain.RunQuery(policy, realization);
+  ClusterQueryResult spec_result = speculative.RunQuery(policy, realization);
+  EXPECT_GT(spec_result.clones_launched, 0);
+  EXPECT_GE(spec_result.quality, plain_result.quality);
+  EXPECT_LE(spec_result.makespan, plain_result.makespan + 1e-9);
+}
+
+TEST(ClusterExperimentTest, RunsPairedPolicies) {
+  auto workload = MakeFacebookWorkload(5, 4);
+  ProportionalSplitPolicy baseline;
+  CedarPolicy cedar;
+  ClusterExperimentConfig config;
+  config.cluster = TinyCluster(5, 4);
+  config.deadline = 500.0;
+  config.num_queries = 10;
+  config.seed = 3;
+  auto result = RunClusterExperiment(workload, {&baseline, &cedar}, config);
+  EXPECT_EQ(result.Outcome("cedar").quality.size(), 10u);
+  EXPECT_EQ(result.Outcome("prop-split").quality.size(), 10u);
+  EXPECT_EQ(result.waves, 1);
+}
+
+TEST(ClusterExperimentDeathTest, DuplicateNamesDie) {
+  auto workload = MakeFacebookWorkload(4, 4);
+  CedarPolicy a;
+  CedarPolicy b;
+  ClusterExperimentConfig config;
+  config.deadline = 100.0;
+  config.num_queries = 1;
+  EXPECT_DEATH(RunClusterExperiment(workload, {&a, &b}, config), "duplicate");
+}
+
+}  // namespace
+}  // namespace cedar

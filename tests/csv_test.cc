@@ -1,0 +1,83 @@
+#include "src/common/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cedar {
+namespace {
+
+TEST(SplitCsvLineTest, Basic) {
+  auto cells = SplitCsvLine("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(SplitCsvLineTest, EmptyCells) {
+  auto cells = SplitCsvLine(",x,");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "");
+  EXPECT_EQ(cells[1], "x");
+  EXPECT_EQ(cells[2], "");
+}
+
+TEST(SplitCsvLineTest, StripsCarriageReturn) {
+  auto cells = SplitCsvLine("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+TEST(ParseCsvTest, HeaderAndRows) {
+  CsvDocument doc = ParseCsv("x,y\n1,2\n3,4\n");
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][0], "3");
+  EXPECT_EQ(doc.ColumnIndex("y"), 1);
+  EXPECT_EQ(doc.ColumnIndex("missing"), -1);
+}
+
+TEST(ParseCsvTest, SkipsBlankLines) {
+  CsvDocument doc = ParseCsv("x\n\n1\n\n2\n");
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(CsvWriterTest, RoundTripThroughFile) {
+  std::string path = ::testing::TempDir() + "/cedar_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    writer.Header({"name", "value"});
+    writer.Row({"alpha", "1"});
+    writer.NumericRow({2.5, 3.0});
+  }
+  CsvDocument doc = ReadCsvFile(path);
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "alpha");
+  EXPECT_EQ(std::stod(doc.rows[1][0]), 2.5);
+  EXPECT_EQ(std::stod(doc.rows[1][1]), 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterDeathTest, RaggedRowDies) {
+  std::string path = ::testing::TempDir() + "/cedar_csv_ragged.csv";
+  CsvWriter writer(path);
+  writer.Header({"a", "b"});
+  EXPECT_DEATH(writer.Row({"only-one"}), "ragged");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterDeathTest, SeparatorInCellDies) {
+  std::string path = ::testing::TempDir() + "/cedar_csv_sep.csv";
+  CsvWriter writer(path);
+  EXPECT_DEATH(writer.Row({"has,comma"}), "separator");
+  std::remove(path.c_str());
+}
+
+TEST(ParseCsvDeathTest, RaggedInputDies) {
+  EXPECT_DEATH(ParseCsv("a,b\n1\n"), "ragged");
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,69 @@
+#include "src/core/dual.h"
+
+#include <gtest/gtest.h>
+
+namespace cedar {
+namespace {
+
+TreeSpec MakeTree() {
+  return TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(2.94, 0.55), 30,
+                            std::make_shared<LogNormalDistribution>(2.94, 0.55), 30);
+}
+
+TEST(DualTest, SolutionAchievesTarget) {
+  TreeSpec tree = MakeTree();
+  DualSolution sol = SolveDeadlineForQuality(tree, 0.9, 2000.0);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_GE(sol.achieved_quality, 0.9 - 1e-3);
+  EXPECT_LE(sol.deadline, 2000.0);
+  EXPECT_GT(sol.deadline, 0.0);
+}
+
+TEST(DualTest, TighterTargetNeedsLongerDeadline) {
+  TreeSpec tree = MakeTree();
+  DualSolution lo = SolveDeadlineForQuality(tree, 0.5, 2000.0);
+  DualSolution hi = SolveDeadlineForQuality(tree, 0.95, 2000.0);
+  ASSERT_TRUE(lo.feasible);
+  ASSERT_TRUE(hi.feasible);
+  EXPECT_LT(lo.deadline, hi.deadline);
+}
+
+TEST(DualTest, SolutionIsMinimal) {
+  TreeSpec tree = MakeTree();
+  DualSolution sol = SolveDeadlineForQuality(tree, 0.8, 2000.0, 1e-4);
+  ASSERT_TRUE(sol.feasible);
+  // Slightly below the returned deadline the target must not be met.
+  double below = sol.deadline * 0.95;
+  EXPECT_LT(MaxExpectedQuality(tree, below), 0.8 + 2e-2);
+}
+
+TEST(DualTest, InfeasibleTargetReported) {
+  TreeSpec tree = MakeTree();
+  // With a 5-unit cap (durations have median ~19) nothing close to 0.9 is
+  // reachable.
+  DualSolution sol = SolveDeadlineForQuality(tree, 0.9, 5.0);
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_DOUBLE_EQ(sol.deadline, 5.0);
+  EXPECT_LT(sol.achieved_quality, 0.9);
+}
+
+TEST(DualTest, DualityWithPrimal) {
+  // q_n(SolveDeadline(x)) ~ x: the dual solution plugged back into the
+  // primal recovers the target (the §6 dual-problem claim).
+  TreeSpec tree = MakeTree();
+  for (double target : {0.3, 0.6, 0.9}) {
+    DualSolution sol = SolveDeadlineForQuality(tree, target, 3000.0, 1e-4);
+    ASSERT_TRUE(sol.feasible) << "target=" << target;
+    EXPECT_NEAR(MaxExpectedQuality(tree, sol.deadline), target, 0.02) << "target=" << target;
+  }
+}
+
+TEST(DualDeathTest, RejectsBadTargets) {
+  TreeSpec tree = MakeTree();
+  EXPECT_DEATH(SolveDeadlineForQuality(tree, 0.0, 100.0), "target quality");
+  EXPECT_DEATH(SolveDeadlineForQuality(tree, 1.0, 100.0), "target quality");
+  EXPECT_DEATH(SolveDeadlineForQuality(tree, 0.5, 0.0), "max_deadline");
+}
+
+}  // namespace
+}  // namespace cedar

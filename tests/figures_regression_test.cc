@@ -1,0 +1,167 @@
+// Figure-regression suite: scaled-down versions of every figure experiment,
+// asserting the qualitative invariants EXPERIMENTS.md reports. These guard
+// the reproduction itself: a change that silently flips "who wins" or kills
+// a trend fails here before anyone re-reads bench output.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies.h"
+#include "src/sim/experiment.h"
+#include "src/stats/fitting.h"
+#include "src/trace/calibration.h"
+#include "src/trace/workloads.h"
+
+namespace cedar {
+namespace {
+
+ExperimentConfig Config(double deadline, int queries = 40, uint64_t seed = 42) {
+  ExperimentConfig config;
+  config.deadline = deadline;
+  config.num_queries = queries;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FigureRegressionTest, Fig06_IdealGapShrinksWithDeadline) {
+  auto workload = MakeFacebookWorkload(20, 20);
+  ProportionalSplitPolicy baseline;
+  OraclePolicy ideal;
+  double prev_improvement = 1e9;
+  for (double deadline : {500.0, 1500.0, 3000.0}) {
+    auto result = RunExperiment(workload, {&baseline, &ideal}, Config(deadline));
+    double improvement = result.ImprovementPercent("prop-split", "ideal");
+    EXPECT_LT(improvement, prev_improvement) << "D=" << deadline;
+    prev_improvement = improvement;
+  }
+  // The headline: >100% at the tight end (500s).
+  auto tight = RunExperiment(workload, {&baseline, &ideal}, Config(500.0));
+  EXPECT_GT(tight.ImprovementPercent("prop-split", "ideal"), 100.0);
+}
+
+TEST(FigureRegressionTest, Fig07_BaselineStuckBelowPointNineAtHugeDeadline) {
+  auto workload = MakeFacebookWorkload(20, 20);
+  ProportionalSplitPolicy baseline;
+  CedarPolicy cedar;
+  auto result = RunExperiment(workload, {&baseline, &cedar}, Config(3000.0));
+  EXPECT_LT(result.Outcome("prop-split").MeanQuality(), 0.93);
+  EXPECT_GT(result.Outcome("cedar").MeanQuality(),
+            result.Outcome("prop-split").MeanQuality());
+}
+
+TEST(FigureRegressionTest, Fig08_MostQueriesImproveSubstantially) {
+  auto workload = MakeFacebookWorkload(20, 20);
+  ProportionalSplitPolicy baseline;
+  CedarPolicy cedar;
+  auto result = RunExperiment(workload, {&baseline, &cedar}, Config(1000.0, 60));
+  auto improvements = result.PerQueryImprovementPercent("prop-split", "cedar", 0.05);
+  ASSERT_FALSE(improvements.empty());
+  int above_50 = 0;
+  for (double improvement : improvements) {
+    if (improvement > 50.0) {
+      ++above_50;
+    }
+  }
+  EXPECT_GT(static_cast<double>(above_50) / static_cast<double>(improvements.size()), 0.3);
+}
+
+TEST(FigureRegressionTest, Fig12_GainsGrowWithFanout) {
+  ProportionalSplitPolicy baseline;
+  CedarPolicy cedar;
+  auto small = MakeFacebookWorkload(5, 5);
+  auto large = MakeFacebookWorkload(30, 30);
+  double small_improvement =
+      RunExperiment(small, {&baseline, &cedar}, Config(1000.0))
+          .ImprovementPercent("prop-split", "cedar");
+  double large_improvement =
+      RunExperiment(large, {&baseline, &cedar}, Config(1000.0))
+          .ImprovementPercent("prop-split", "cedar");
+  EXPECT_GT(large_improvement, small_improvement + 5.0);
+}
+
+TEST(FigureRegressionTest, Fig15_CosmosOptimizerAloneBeatsBaseline) {
+  auto workload = MakeCosmosWorkload(20, 20);
+  ProportionalSplitPolicy baseline;
+  OfflineOptimalPolicy cedar_offline;
+  CedarPolicy cedar;
+  auto result =
+      RunExperiment(workload, {&baseline, &cedar_offline, &cedar}, Config(75.0, 60));
+  EXPECT_GT(result.ImprovementPercent("prop-split", "cedar-offline"), 20.0);
+  // Stationary workload: learning is not in play, cedar == cedar-offline.
+  EXPECT_NEAR(result.Outcome("cedar").MeanQuality(),
+              result.Outcome("cedar-offline").MeanQuality(), 0.02);
+}
+
+TEST(FigureRegressionTest, Fig16_GainsGrowWithSigma) {
+  ProportionalSplitPolicy baseline;
+  CedarPolicy cedar;
+  auto low = MakeGoogleSigmaWorkload(1.40, 30, 30);
+  auto high = MakeGoogleSigmaWorkload(1.70, 30, 30);
+  double low_improvement = RunExperiment(low, {&baseline, &cedar}, Config(150.0))
+                               .ImprovementPercent("prop-split", "cedar");
+  double high_improvement = RunExperiment(high, {&baseline, &cedar}, Config(150.0))
+                                .ImprovementPercent("prop-split", "cedar");
+  EXPECT_GT(high_improvement, low_improvement);
+}
+
+TEST(FigureRegressionTest, Fig17_GaussianHighAbsoluteQualityModestGains) {
+  GaussianWorkload workload(30, 30);
+  ProportionalSplitPolicy baseline;
+  CedarPolicyOptions options;
+  options.learner.family = DistributionFamily::kNormal;
+  CedarPolicy cedar(options);
+  auto result = RunExperiment(workload, {&baseline, &cedar}, Config(240.0, 60));
+  double improvement = result.ImprovementPercent("prop-split", "cedar");
+  EXPECT_GT(improvement, 3.0);
+  EXPECT_LT(improvement, 40.0) << "normal tails are light: gains stay modest";
+  EXPECT_GT(result.Outcome("cedar").MeanQuality(), 0.9);
+}
+
+TEST(FigureRegressionTest, Fig04_BingFitKolmogorovSmirnov) {
+  // The published Bing fit should be consistent with samples drawn from
+  // itself (sanity of the KS utility + the calibration constants).
+  LogNormalDistribution bing(kBingMu, kBingSigma);
+  Rng rng(3);
+  std::vector<double> samples(5000);
+  for (auto& s : samples) {
+    s = bing.Sample(rng);
+  }
+  EXPECT_LT(KolmogorovSmirnovStatistic(samples, bing), 0.025);
+  // And clearly inconsistent with a different fit.
+  LogNormalDistribution other(kBingMu + 1.0, kBingSigma);
+  EXPECT_GT(KolmogorovSmirnovStatistic(samples, other), 0.2);
+}
+
+TEST(FigureRegressionTest, SyntheticWorkloadMarginalMatchesOfflineFit) {
+  // The offline tree's marginal fit must describe the across-query pooled
+  // samples: the property that justifies handing it to Proportional-split
+  // as "learned statistics". For normal mu-mixing (no exponential tail)
+  // the marginal is exactly log-normal, so KS should be tiny.
+  auto workload = MakeGoogleSigmaWorkload(1.5, 10, 10);
+  TreeSpec offline = workload.OfflineTree();
+  Rng rng(5);
+  std::vector<double> pooled;
+  for (int q = 0; q < 200; ++q) {
+    auto truth = workload.DrawQuery(rng);
+    for (int i = 0; i < 25; ++i) {
+      pooled.push_back(truth.stage_durations[0]->Sample(rng));
+    }
+  }
+  EXPECT_LT(KolmogorovSmirnovStatistic(pooled, *offline.stage(0).duration), 0.03);
+
+  // With the heavy job tail (the Facebook-style mix) the mean/median-
+  // matched fit deliberately distorts the body to capture the tail's mean
+  // (DESIGN.md §6.5); the KS distance is visible but bounded.
+  auto tailed = MakeInteractiveWorkload(10, 10);
+  TreeSpec tailed_offline = tailed.OfflineTree();
+  std::vector<double> tailed_pooled;
+  for (int q = 0; q < 200; ++q) {
+    auto truth = tailed.DrawQuery(rng);
+    for (int i = 0; i < 25; ++i) {
+      tailed_pooled.push_back(truth.stage_durations[0]->Sample(rng));
+    }
+  }
+  EXPECT_LT(KolmogorovSmirnovStatistic(tailed_pooled, *tailed_offline.stage(0).duration), 0.25);
+}
+
+}  // namespace
+}  // namespace cedar

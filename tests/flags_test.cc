@@ -1,0 +1,108 @@
+#include "src/common/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cedar {
+namespace {
+
+// Builds an argv-style vector from string literals.
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (auto& s : storage) {
+    argv.push_back(s.data());
+  }
+  return argv;
+}
+
+TEST(FlagsTest, DefaultsSurviveEmptyParse) {
+  FlagSet flags("test");
+  double* d = flags.AddDouble("rate", 2.5, "rate");
+  int64_t* n = flags.AddInt("count", 7, "count");
+  bool* b = flags.AddBool("verbose", false, "verbose");
+  std::string* s = flags.AddString("name", "x", "name");
+  std::vector<std::string> args = {"prog"};
+  auto argv = MakeArgv(args);
+  flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(*d, 2.5);
+  EXPECT_EQ(*n, 7);
+  EXPECT_FALSE(*b);
+  EXPECT_EQ(*s, "x");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags("test");
+  double* d = flags.AddDouble("rate", 0.0, "rate");
+  std::string* s = flags.AddString("name", "", "name");
+  std::vector<std::string> args = {"prog", "--rate=3.25", "--name=cedar"};
+  auto argv = MakeArgv(args);
+  flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(*d, 3.25);
+  EXPECT_EQ(*s, "cedar");
+}
+
+TEST(FlagsTest, SpaceSyntaxAndPositional) {
+  FlagSet flags("test");
+  int64_t* n = flags.AddInt("count", 0, "count");
+  std::vector<std::string> args = {"prog", "--count", "42", "leftover"};
+  auto argv = MakeArgv(args);
+  auto positional = flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*n, 42);
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "leftover");
+}
+
+TEST(FlagsTest, BoolForms) {
+  FlagSet flags("test");
+  bool* a = flags.AddBool("alpha", false, "a");
+  bool* b = flags.AddBool("beta", true, "b");
+  bool* c = flags.AddBool("gamma", false, "c");
+  std::vector<std::string> args = {"prog", "--alpha", "--nobeta", "--gamma=true"};
+  auto argv = MakeArgv(args);
+  flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(*a);
+  EXPECT_FALSE(*b);
+  EXPECT_TRUE(*c);
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagSet flags("test");
+  double* d = flags.AddDouble("shift", 0.0, "shift");
+  int64_t* n = flags.AddInt("delta", 0, "delta");
+  std::vector<std::string> args = {"prog", "--shift=-1.5", "--delta=-3"};
+  auto argv = MakeArgv(args);
+  flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(*d, -1.5);
+  EXPECT_EQ(*n, -3);
+}
+
+TEST(FlagsDeathTest, UnknownFlagDies) {
+  FlagSet flags("test");
+  flags.AddInt("count", 0, "count");
+  std::vector<std::string> args = {"prog", "--bogus=1"};
+  auto argv = MakeArgv(args);
+  EXPECT_DEATH(flags.Parse(static_cast<int>(argv.size()), argv.data()), "unknown flag");
+}
+
+TEST(FlagsDeathTest, MalformedValueDies) {
+  FlagSet flags("test");
+  flags.AddInt("count", 0, "count");
+  std::vector<std::string> args = {"prog", "--count=abc"};
+  auto argv = MakeArgv(args);
+  EXPECT_DEATH(flags.Parse(static_cast<int>(argv.size()), argv.data()), "bad int");
+}
+
+TEST(FlagsTest, UsageMentionsFlagsAndDefaults) {
+  FlagSet flags("my tool doc");
+  flags.AddInt("count", 5, "how many");
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("my tool doc"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,72 @@
+#include "src/common/histogram.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cedar {
+namespace {
+
+TEST(HistogramTest, LinearBinning) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.AddAll({0.0, 1.9, 2.0, 5.5, 9.99});
+  EXPECT_EQ(histogram.bin_count(0), 2);  // [0,2)
+  EXPECT_EQ(histogram.bin_count(1), 1);  // [2,4)
+  EXPECT_EQ(histogram.bin_count(2), 1);  // [4,6)
+  EXPECT_EQ(histogram.bin_count(4), 1);  // [8,10)
+  EXPECT_EQ(histogram.count(), 5);
+}
+
+TEST(HistogramTest, OverflowUnderflow) {
+  Histogram histogram(0.0, 10.0, 2);
+  histogram.Add(-1.0);
+  histogram.Add(10.0);
+  histogram.Add(100.0);
+  EXPECT_EQ(histogram.underflow(), 1);
+  EXPECT_EQ(histogram.overflow(), 2);
+  EXPECT_EQ(histogram.count(), 3);
+}
+
+TEST(HistogramTest, BinBoundsLinear) {
+  Histogram histogram(10.0, 20.0, 4);
+  auto [lo, hi] = histogram.bin_bounds(1);
+  EXPECT_DOUBLE_EQ(lo, 12.5);
+  EXPECT_DOUBLE_EQ(hi, 15.0);
+}
+
+TEST(HistogramTest, LogarithmicBinning) {
+  Histogram histogram = Histogram::Logarithmic(1.0, 1000.0, 3);
+  // Decade bins: [1,10), [10,100), [100,1000).
+  histogram.AddAll({2.0, 5.0, 50.0, 500.0, 999.0});
+  EXPECT_EQ(histogram.bin_count(0), 2);
+  EXPECT_EQ(histogram.bin_count(1), 1);
+  EXPECT_EQ(histogram.bin_count(2), 2);
+  auto [lo, hi] = histogram.bin_bounds(1);
+  EXPECT_NEAR(lo, 10.0, 1e-9);
+  EXPECT_NEAR(hi, 100.0, 1e-9);
+}
+
+TEST(HistogramTest, LogarithmicUnderflow) {
+  Histogram histogram = Histogram::Logarithmic(1.0, 100.0, 2);
+  histogram.Add(0.5);
+  histogram.Add(0.0);
+  EXPECT_EQ(histogram.underflow(), 2);
+}
+
+TEST(HistogramTest, PrintRendersBars) {
+  Histogram histogram(0.0, 4.0, 2);
+  histogram.AddAll({1.0, 1.0, 3.0});
+  std::ostringstream out;
+  histogram.Print(out, 10);
+  std::string text = out.str();
+  EXPECT_NE(text.find("##########"), std::string::npos);  // fullest bin
+  EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+TEST(HistogramDeathTest, RejectsBadRanges) {
+  EXPECT_DEATH(Histogram(5.0, 5.0, 3), "");
+  EXPECT_DEATH(Histogram::Logarithmic(0.0, 10.0, 3), "lo > 0");
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,106 @@
+#include "src/cluster/loaded_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies.h"
+#include "src/trace/workloads.h"
+
+namespace cedar {
+namespace {
+
+LoadedRunConfig BaseConfig() {
+  LoadedRunConfig config;
+  config.cluster.machines = 20;
+  config.cluster.slots_per_machine = 4;  // 80 slots
+  config.deadline = 1000.0;
+  config.mean_interarrival = 500.0;
+  config.num_queries = 20;
+  config.seed = 7;
+  return config;
+}
+
+TEST(LoadedRuntimeTest, ProducesOneQualityPerQuery) {
+  auto workload = MakeFacebookWorkload(10, 8);  // 80 tasks per query
+  CedarPolicy cedar;
+  LoadedRunResult result = RunLoadedCluster(workload, cedar, BaseConfig());
+  EXPECT_EQ(result.per_query_quality.size(), 20u);
+  for (double quality : result.per_query_quality.values()) {
+    EXPECT_GE(quality, 0.0);
+    EXPECT_LE(quality, 1.0);
+  }
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GT(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0 + 1e-9);
+}
+
+TEST(LoadedRuntimeTest, Deterministic) {
+  auto workload = MakeFacebookWorkload(10, 8);
+  CedarPolicy cedar;
+  LoadedRunResult a = RunLoadedCluster(workload, cedar, BaseConfig());
+  LoadedRunResult b = RunLoadedCluster(workload, cedar, BaseConfig());
+  ASSERT_EQ(a.per_query_quality.size(), b.per_query_quality.size());
+  for (size_t i = 0; i < a.per_query_quality.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_query_quality.values()[i], b.per_query_quality.values()[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(LoadedRuntimeTest, HeavierLoadIncreasesQueueDelayAndHurtsQuality) {
+  auto workload = MakeFacebookWorkload(10, 8);
+  ProportionalSplitPolicy policy;
+
+  LoadedRunConfig light = BaseConfig();
+  light.mean_interarrival = 2000.0;
+  LoadedRunConfig heavy = BaseConfig();
+  heavy.mean_interarrival = 50.0;
+
+  LoadedRunResult light_result = RunLoadedCluster(workload, policy, light);
+  LoadedRunResult heavy_result = RunLoadedCluster(workload, policy, heavy);
+  EXPECT_GT(heavy_result.mean_queue_delay, light_result.mean_queue_delay);
+  EXPECT_GT(heavy_result.utilization, light_result.utilization);
+  EXPECT_LT(heavy_result.MeanQuality(), light_result.MeanQuality());
+}
+
+TEST(LoadedRuntimeTest, VeryLightLoadMatchesIsolatedQuality) {
+  // With inter-arrival times far exceeding the deadline, queries never
+  // overlap; queue delay within a query should be 0 (80 slots, 80 tasks)
+  // and quality should be healthy.
+  auto workload = MakeFacebookWorkload(10, 8);
+  CedarPolicy cedar;
+  LoadedRunConfig config = BaseConfig();
+  config.mean_interarrival = 1e7;
+  LoadedRunResult result = RunLoadedCluster(workload, cedar, config);
+  EXPECT_DOUBLE_EQ(result.mean_queue_delay, 0.0);
+  EXPECT_GT(result.MeanQuality(), 0.4);
+}
+
+TEST(LoadedRuntimeTest, ThreeLevelTreeSupported) {
+  std::vector<MetaLogNormalStage> stages;
+  for (int i = 0; i < 3; ++i) {
+    MetaLogNormalStage stage;
+    stage.mu = 2.0;
+    stage.sigma = 0.6;
+    stage.fanout = 4;
+    stages.push_back(stage);
+  }
+  MetaLogNormalWorkload workload("deep", "s", std::move(stages));
+  CedarPolicy cedar;
+  LoadedRunConfig config = BaseConfig();
+  config.cluster.machines = 16;
+  config.cluster.slots_per_machine = 4;  // 64 slots for 64 tasks
+  config.deadline = 200.0;
+  LoadedRunResult result = RunLoadedCluster(workload, cedar, config);
+  EXPECT_EQ(result.per_query_quality.size(), 20u);
+  EXPECT_GT(result.MeanQuality(), 0.0);
+}
+
+TEST(LoadedRuntimeDeathTest, RejectsBadConfig) {
+  auto workload = MakeFacebookWorkload(4, 4);
+  CedarPolicy cedar;
+  LoadedRunConfig config = BaseConfig();
+  config.mean_interarrival = 0.0;
+  EXPECT_DEATH(RunLoadedCluster(workload, cedar, config), "interarrival");
+}
+
+}  // namespace
+}  // namespace cedar

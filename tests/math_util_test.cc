@@ -1,0 +1,129 @@
+#include "src/common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cedar {
+namespace {
+
+TEST(LerpTest, Endpoints) {
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 10.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 10.0, 0.5), 6.0);
+}
+
+TEST(LerpTest, ExtrapolatesBeyondUnitInterval) {
+  EXPECT_DOUBLE_EQ(Lerp(0.0, 1.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(Lerp(0.0, 1.0, -1.0), -1.0);
+}
+
+TEST(ClampTest, Basic) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(LogBinomialTest, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(50, 25)), 1.2641060643775244e14, 1e6);
+}
+
+TEST(LogBinomialTest, Symmetry) {
+  for (int n = 1; n <= 40; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_NEAR(LogBinomial(n, k), LogBinomial(n, n - k), 1e-9);
+    }
+  }
+}
+
+TEST(IntegrateTest, Polynomial) {
+  // Integral of x^2 over [0, 3] = 9.
+  double v = IntegrateAdaptiveSimpson([](double x) { return x * x; }, 0.0, 3.0);
+  EXPECT_NEAR(v, 9.0, 1e-9);
+}
+
+TEST(IntegrateTest, ReversedIntervalIsNegative) {
+  double fwd = IntegrateAdaptiveSimpson([](double x) { return x; }, 0.0, 2.0);
+  double rev = IntegrateAdaptiveSimpson([](double x) { return x; }, 2.0, 0.0);
+  EXPECT_NEAR(fwd, 2.0, 1e-10);
+  EXPECT_NEAR(rev, -2.0, 1e-10);
+}
+
+TEST(IntegrateTest, EmptyInterval) {
+  EXPECT_DOUBLE_EQ(IntegrateAdaptiveSimpson([](double x) { return x; }, 1.0, 1.0), 0.0);
+}
+
+TEST(IntegrateTest, SmoothGaussianBody) {
+  // Integral of e^{-x^2} over [-6, 6] = sqrt(pi) (tails negligible).
+  double v = IntegrateAdaptiveSimpson([](double x) { return std::exp(-x * x); }, -6.0, 6.0);
+  EXPECT_NEAR(v, std::sqrt(M_PI), 1e-8);
+}
+
+TEST(FindRootTest, FindsSqrtTwo) {
+  double root = FindRootBisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(FindRootTest, RootAtEndpoint) {
+  EXPECT_DOUBLE_EQ(FindRootBisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(FindRootBisect([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(PiecewiseLinearTest, UniformInterpolation) {
+  auto f = PiecewiseLinear::FromUniform(0.0, 1.0, {0.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(f(1.75), 17.5);
+  EXPECT_DOUBLE_EQ(f(2.0), 20.0);
+}
+
+TEST(PiecewiseLinearTest, FlatExtrapolation) {
+  auto f = PiecewiseLinear::FromUniform(1.0, 1.0, {3.0, 7.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(-100.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(2.5), 7.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 7.0);
+}
+
+TEST(PiecewiseLinearTest, NonUniformGrid) {
+  PiecewiseLinear f({0.0, 1.0, 10.0}, {0.0, 1.0, 10.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(5.5), 5.5);
+  EXPECT_DOUBLE_EQ(f.min_x(), 0.0);
+  EXPECT_DOUBLE_EQ(f.max_x(), 10.0);
+}
+
+TEST(PiecewiseLinearTest, UniformMatchesNonUniform) {
+  std::vector<double> ys = {1.0, 4.0, 9.0, 16.0, 25.0};
+  auto uniform = PiecewiseLinear::FromUniform(2.0, 0.5, ys);
+  PiecewiseLinear general({2.0, 2.5, 3.0, 3.5, 4.0}, ys);
+  for (double x = 1.5; x <= 4.5; x += 0.05) {
+    EXPECT_NEAR(uniform(x), general(x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(QuantileOfSortedTest, Endpoints) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.5), 2.5);
+}
+
+TEST(QuantileOfSortedTest, SingleElement) {
+  std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.3), 7.0);
+}
+
+TEST(QuantileOfSortedTest, InterpolatesType7) {
+  // numpy.percentile([10, 20, 30], 25) == 15.
+  std::vector<double> v = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.25), 15.0);
+  EXPECT_DOUBLE_EQ(QuantileOfSorted(v, 0.75), 25.0);
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,61 @@
+#include "src/stats/normal_math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cedar {
+namespace {
+
+TEST(NormalPdfTest, KnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 0.0);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(NormalCdf(0.0), 0.5);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.024997895148220435, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalCdfTest, TailAccuracy) {
+  // Deep tails must not flush to 0/1 prematurely (erfc-based).
+  EXPECT_GT(NormalCdf(-8.0), 0.0);
+  EXPECT_LT(NormalCdf(-8.0), 1e-14);
+  EXPECT_LT(NormalCdf(8.0), 1.0 + 1e-16);
+}
+
+TEST(NormalQuantileTest, RoundTripsWithCdf) {
+  for (double p = 0.0005; p < 1.0; p += 0.0101) {
+    double z = NormalQuantile(p);
+    EXPECT_NEAR(NormalCdf(z), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-14);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.8413447460685429), 1.0, 1e-10);
+}
+
+TEST(NormalQuantileTest, Symmetry) {
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-11) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, ExtremeTails) {
+  double z = NormalQuantile(1e-10);
+  EXPECT_NEAR(NormalCdf(z), 1e-10, 1e-13);
+  EXPECT_LT(z, -6.0);
+}
+
+TEST(NormalQuantileDeathTest, RejectsOutOfRange) {
+  EXPECT_DEATH(NormalQuantile(0.0), "requires p");
+  EXPECT_DEATH(NormalQuantile(1.0), "requires p");
+}
+
+}  // namespace
+}  // namespace cedar

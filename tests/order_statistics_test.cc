@@ -1,0 +1,120 @@
+#include "src/stats/order_statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cedar {
+namespace {
+
+TEST(BlomScoreTest, MedianOfOddSampleIsZero) {
+  EXPECT_NEAR(BlomNormalScore(3, 5), 0.0, 1e-12);
+  EXPECT_NEAR(BlomNormalScore(26, 51), 0.0, 1e-12);
+}
+
+TEST(BlomScoreTest, Symmetry) {
+  for (int k : {5, 10, 50}) {
+    for (int i = 1; i <= k; ++i) {
+      EXPECT_NEAR(BlomNormalScore(i, k), -BlomNormalScore(k + 1 - i, k), 1e-12);
+    }
+  }
+}
+
+TEST(ExactScoreTest, SingleSampleHasZeroMean) {
+  EXPECT_NEAR(ExactNormalScore(1, 1), 0.0, 1e-9);
+}
+
+TEST(ExactScoreTest, PairMatchesClosedForm) {
+  // E[max of 2 standard normals] = 1/sqrt(pi).
+  double expected = 1.0 / std::sqrt(M_PI);
+  EXPECT_NEAR(ExactNormalScore(2, 2), expected, 1e-8);
+  EXPECT_NEAR(ExactNormalScore(1, 2), -expected, 1e-8);
+}
+
+TEST(ExactScoreTest, TripleMatchesClosedForm) {
+  // E[max of 3] = 1.5/sqrt(pi).
+  EXPECT_NEAR(ExactNormalScore(3, 3), 1.5 / std::sqrt(M_PI), 1e-8);
+  EXPECT_NEAR(ExactNormalScore(2, 3), 0.0, 1e-9);
+}
+
+TEST(ExactScoreTest, SymmetryAndMonotonicity) {
+  for (int k : {4, 10, 50, 200}) {
+    double prev = -1e9;
+    for (int i = 1; i <= k; ++i) {
+      double score = ExactNormalScore(i, k);
+      EXPECT_NEAR(score, -ExactNormalScore(k + 1 - i, k), 1e-9) << "i=" << i << " k=" << k;
+      EXPECT_GT(score, prev) << "scores must be strictly increasing, i=" << i << " k=" << k;
+      prev = score;
+    }
+  }
+}
+
+TEST(ExactScoreTest, SumOfScoresIsZero) {
+  for (int k : {2, 7, 50}) {
+    double sum = 0.0;
+    for (int i = 1; i <= k; ++i) {
+      sum += ExactNormalScore(i, k);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-8) << "k=" << k;
+  }
+}
+
+TEST(ExactScoreTest, BlomIsCloseForModerateK) {
+  for (int k : {10, 50, 100}) {
+    for (int i = 1; i <= k; ++i) {
+      EXPECT_NEAR(ExactNormalScore(i, k), BlomNormalScore(i, k), 0.02)
+          << "i=" << i << " k=" << k;
+    }
+  }
+}
+
+TEST(ExactScoreTest, MatchesMonteCarlo) {
+  const int k = 50;
+  auto mc = MonteCarloNormalScores(k, 40000, 7);
+  for (int i = 1; i <= k; ++i) {
+    EXPECT_NEAR(ExactNormalScore(i, k), mc[static_cast<size_t>(i - 1)], 0.02)
+        << "i=" << i;
+  }
+}
+
+TEST(ExponentialScoreTest, ClosedForm) {
+  // E[min of k] = 1/k; E[max of k] = H_k.
+  EXPECT_DOUBLE_EQ(ExponentialScore(1, 4), 0.25);
+  double harmonic4 = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+  EXPECT_NEAR(ExponentialScore(4, 4), harmonic4, 1e-12);
+}
+
+TEST(ExponentialScoreTest, StrictlyIncreasing) {
+  for (int i = 1; i < 20; ++i) {
+    EXPECT_LT(ExponentialScore(i, 20), ExponentialScore(i + 1, 20));
+  }
+}
+
+TEST(ScoreTableTest, CachedTableMatchesDirectComputation) {
+  NormalOrderScoreTable::ClearCacheForTesting();
+  const auto& table = NormalOrderScoreTable::Get(25, OrderScoreMethod::kExact);
+  ASSERT_EQ(table.size(), 25u);
+  for (int i = 1; i <= 25; ++i) {
+    EXPECT_DOUBLE_EQ(table[static_cast<size_t>(i - 1)], ExactNormalScore(i, 25));
+  }
+  // Second lookup returns the same object.
+  const auto& again = NormalOrderScoreTable::Get(25, OrderScoreMethod::kExact);
+  EXPECT_EQ(&table, &again);
+}
+
+TEST(ScoreTableTest, BlomAndExactAreSeparateCaches) {
+  NormalOrderScoreTable::ClearCacheForTesting();
+  const auto& exact = NormalOrderScoreTable::Get(10, OrderScoreMethod::kExact);
+  const auto& blom = NormalOrderScoreTable::Get(10, OrderScoreMethod::kBlom);
+  EXPECT_NE(&exact, &blom);
+  EXPECT_DOUBLE_EQ(blom[0], BlomNormalScore(1, 10));
+}
+
+TEST(ScoreDeathTest, IndexOutOfRange) {
+  EXPECT_DEATH(ExactNormalScore(0, 5), "out of range");
+  EXPECT_DEATH(ExactNormalScore(6, 5), "out of range");
+  EXPECT_DEATH(BlomNormalScore(0, 5), "out of range");
+}
+
+}  // namespace
+}  // namespace cedar

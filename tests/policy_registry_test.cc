@@ -1,0 +1,57 @@
+#include "src/core/policy_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies.h"
+
+namespace cedar {
+namespace {
+
+TEST(PolicyRegistryTest, EveryKnownNameRoundTrips) {
+  for (const auto& name : KnownPolicyNames()) {
+    auto policy = MakePolicyByName(name);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST(PolicyRegistryTest, FixedPolicyParsesParameter) {
+  auto policy = MakePolicyByName("fixed:123.5");
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->name(), "fixed");
+  // Verify the parsed wait by exercising the decision.
+  TreeSpec tree = TreeSpec::TwoLevel(std::make_shared<ExponentialDistribution>(1.0), 2,
+                                     std::make_shared<ExponentialDistribution>(1.0), 2);
+  AggregatorContext ctx;
+  ctx.deadline = 1000.0;
+  ctx.fanout = 2;
+  ctx.offline_tree = &tree;
+  policy->BeginQuery(ctx, nullptr);
+  EXPECT_DOUBLE_EQ(policy->DecideInitialWait(ctx), 123.5);
+}
+
+TEST(PolicyRegistryTest, EmpiricalVariantConfigured) {
+  auto policy = MakePolicyByName("cedar-empirical");
+  EXPECT_EQ(policy->name(), "cedar-empirical");
+}
+
+TEST(PolicyRegistryTest, ListParsing) {
+  auto policies = MakePolicyList("prop-split,cedar,ideal");
+  ASSERT_EQ(policies.size(), 3u);
+  EXPECT_EQ(policies[0]->name(), "prop-split");
+  EXPECT_EQ(policies[2]->name(), "ideal");
+}
+
+TEST(PolicyRegistryTest, ListSkipsEmptyTokens) {
+  auto policies = MakePolicyList(",cedar,,ideal,");
+  ASSERT_EQ(policies.size(), 2u);
+}
+
+TEST(PolicyRegistryDeathTest, UnknownNameDies) {
+  EXPECT_DEATH(MakePolicyByName("bogus"), "unknown policy");
+  EXPECT_DEATH(MakePolicyByName("fixed:abc"), "bad fixed");
+  EXPECT_DEATH(MakePolicyList(""), "empty policy list");
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,217 @@
+#include "src/core/policies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/quality.h"
+
+namespace cedar {
+namespace {
+
+// A reusable two-level context with deadline 100.
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest()
+      : tree_(TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(2.0, 0.8), 20,
+                                 std::make_shared<LogNormalDistribution>(2.5, 0.6), 10)),
+        upper_(TabulateCdf(*tree_.stage(1).duration, 100.0, 401)) {
+    ctx_.tier = 0;
+    ctx_.deadline = 100.0;
+    ctx_.start_offset = 0.0;
+    ctx_.fanout = 20;
+    ctx_.offline_tree = &tree_;
+    ctx_.upper_quality = &upper_;
+    ctx_.epsilon = 0.25;
+  }
+
+  TreeSpec tree_;
+  PiecewiseLinear upper_;
+  AggregatorContext ctx_;
+};
+
+TEST_F(PolicyTest, FixedWaitReturnsConstant) {
+  FixedWaitPolicy policy(33.0);
+  policy.BeginQuery(ctx_, nullptr);
+  EXPECT_DOUBLE_EQ(policy.DecideInitialWait(ctx_), 33.0);
+  // Arrivals do not change the decision.
+  EXPECT_DOUBLE_EQ(policy.DecideOnArrival(ctx_, 5.0, {5.0}), 33.0);
+}
+
+TEST_F(PolicyTest, EqualSplitHalvesTwoLevelDeadline) {
+  EqualSplitPolicy policy;
+  policy.BeginQuery(ctx_, nullptr);
+  EXPECT_DOUBLE_EQ(policy.DecideInitialWait(ctx_), 50.0);
+}
+
+TEST_F(PolicyTest, ProportionalSplitUsesOfflineMeans) {
+  ProportionalSplitPolicy policy;
+  policy.BeginQuery(ctx_, nullptr);
+  double mu1 = tree_.stage(0).duration->Mean();
+  double mu2 = tree_.stage(1).duration->Mean();
+  EXPECT_NEAR(policy.DecideInitialWait(ctx_), 100.0 * mu1 / (mu1 + mu2), 1e-9);
+}
+
+TEST_F(PolicyTest, MeanSubtractReservesUpperMean) {
+  MeanSubtractPolicy policy;
+  policy.BeginQuery(ctx_, nullptr);
+  double mu2 = tree_.stage(1).duration->Mean();
+  EXPECT_NEAR(policy.DecideInitialWait(ctx_), 100.0 - mu2, 1e-9);
+}
+
+TEST_F(PolicyTest, MeanSubtractClampsAtZero) {
+  AggregatorContext tight = ctx_;
+  tight.deadline = 5.0;  // upper mean ~14.6 exceeds the deadline
+  MeanSubtractPolicy policy;
+  policy.BeginQuery(tight, nullptr);
+  EXPECT_DOUBLE_EQ(policy.DecideInitialWait(tight), 0.0);
+}
+
+TEST_F(PolicyTest, OfflineOptimalWithinBudgetAndStable) {
+  OfflineOptimalPolicy policy;
+  policy.BeginQuery(ctx_, nullptr);
+  double wait = policy.DecideInitialWait(ctx_);
+  EXPECT_GT(wait, 0.0);
+  EXPECT_LT(wait, 100.0);
+  // Does not react to arrivals (no online learning).
+  EXPECT_DOUBLE_EQ(policy.DecideOnArrival(ctx_, 3.0, {3.0}), wait);
+}
+
+TEST_F(PolicyTest, CedarStartsAtOfflineOptimal) {
+  OfflineOptimalPolicy offline;
+  CedarPolicy cedar;
+  offline.BeginQuery(ctx_, nullptr);
+  cedar.BeginQuery(ctx_, nullptr);
+  EXPECT_DOUBLE_EQ(cedar.DecideInitialWait(ctx_), offline.DecideInitialWait(ctx_));
+}
+
+TEST_F(PolicyTest, CedarAdaptsToSlowArrivals) {
+  // Feed arrivals drawn from a much slower distribution than the offline
+  // fit; once min_samples arrive, the wait should move up.
+  CedarPolicyOptions options;
+  options.learner.min_samples = 4;
+  CedarPolicy cedar(options);
+  cedar.BeginQuery(ctx_, nullptr);
+  double initial = cedar.DecideInitialWait(ctx_);
+
+  LogNormalDistribution slow(3.3, 0.8);  // offline is lognormal(2.0, 0.8)
+  Rng rng(5);
+  std::vector<double> samples(20);
+  for (auto& s : samples) {
+    s = slow.Sample(rng);
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> so_far;
+  double wait = initial;
+  for (int i = 0; i < 12; ++i) {
+    so_far.push_back(samples[static_cast<size_t>(i)]);
+    wait = cedar.DecideOnArrival(ctx_, so_far.back(), so_far);
+  }
+  EXPECT_GT(wait, initial) << "slower-than-offline arrivals should lengthen the wait";
+}
+
+TEST_F(PolicyTest, CedarReoptimizeEveryNThrottlesUpdates) {
+  CedarPolicyOptions options;
+  options.learner.min_samples = 2;
+  options.reoptimize_every = 4;
+  CedarPolicy cedar(options);
+  cedar.BeginQuery(ctx_, nullptr);
+  double initial = cedar.DecideInitialWait(ctx_);
+  std::vector<double> so_far;
+  int changes = 0;
+  double wait = initial;
+  for (int i = 1; i <= 8; ++i) {
+    so_far.push_back(static_cast<double>(i));
+    double next = cedar.DecideOnArrival(ctx_, so_far.back(), so_far);
+    if (next != wait) {
+      ++changes;
+      wait = next;
+    }
+  }
+  EXPECT_LE(changes, 2) << "at most every 4th arrival may change the wait";
+}
+
+TEST_F(PolicyTest, CedarUpperTierDoesNotLearn) {
+  CedarPolicy cedar;  // learning_tier = 0
+  AggregatorContext upper_ctx = ctx_;
+  upper_ctx.tier = 1;
+  upper_ctx.fanout = 10;
+  cedar.BeginQuery(upper_ctx, nullptr);
+  double wait = cedar.DecideInitialWait(upper_ctx);
+  EXPECT_DOUBLE_EQ(cedar.DecideOnArrival(upper_ctx, 2.0, {2.0}), wait);
+  EXPECT_EQ(cedar.learner(), nullptr);
+}
+
+TEST_F(PolicyTest, CedarEmpiricalNameDiffers) {
+  CedarPolicyOptions options;
+  options.learner.use_empirical_estimates = true;
+  CedarPolicy empirical(options);
+  CedarPolicy normal;
+  EXPECT_EQ(empirical.name(), "cedar-empirical");
+  EXPECT_EQ(normal.name(), "cedar");
+}
+
+TEST_F(PolicyTest, CloneIsIndependent) {
+  CedarPolicy cedar;
+  auto clone = cedar.Clone();
+  clone->BeginQuery(ctx_, nullptr);
+  clone->DecideInitialWait(ctx_);
+  // Prototype was never started; cloning must not share learner state.
+  EXPECT_EQ(cedar.learner(), nullptr);
+}
+
+TEST_F(PolicyTest, OracleUsesTruthAndCachesBySequence) {
+  OraclePolicy prototype;
+  auto a = prototype.Clone();
+  auto b = prototype.Clone();
+
+  QueryTruth slow;
+  slow.sequence = 1;
+  slow.stage_durations.push_back(std::make_shared<LogNormalDistribution>(3.2, 0.8));
+  slow.stage_durations.push_back(tree_.stage(1).duration);
+
+  QueryTruth fast;
+  fast.sequence = 2;
+  fast.stage_durations.push_back(std::make_shared<LogNormalDistribution>(1.0, 0.8));
+  fast.stage_durations.push_back(tree_.stage(1).duration);
+
+  a->BeginQuery(ctx_, &slow);
+  double slow_wait = a->DecideInitialWait(ctx_);
+  b->BeginQuery(ctx_, &fast);
+  double fast_wait = b->DecideInitialWait(ctx_);
+  EXPECT_GT(slow_wait, fast_wait) << "oracle must adapt its wait to the query's truth";
+
+  // Same sequence again: cached plan must give the identical wait.
+  auto c = prototype.Clone();
+  c->BeginQuery(ctx_, &fast);
+  EXPECT_DOUBLE_EQ(c->DecideInitialWait(ctx_), fast_wait);
+}
+
+TEST_F(PolicyTest, OracleWithoutTruthFallsBackToOffline) {
+  OraclePolicy oracle;
+  OfflineOptimalPolicy offline;
+  oracle.BeginQuery(ctx_, nullptr);
+  offline.BeginQuery(ctx_, nullptr);
+  EXPECT_NEAR(oracle.DecideInitialWait(ctx_), offline.DecideInitialWait(ctx_),
+              ctx_.epsilon + 1e-9);
+}
+
+TEST_F(PolicyTest, QueryTruthOverlayKeepsFanouts) {
+  QueryTruth truth;
+  truth.stage_durations.push_back(std::make_shared<ExponentialDistribution>(1.0));
+  truth.stage_durations.push_back(std::make_shared<ExponentialDistribution>(2.0));
+  TreeSpec overlaid = truth.OverlayOn(tree_);
+  EXPECT_EQ(overlaid.stage(0).fanout, 20);
+  EXPECT_EQ(overlaid.stage(1).fanout, 10);
+  EXPECT_EQ(overlaid.stage(0).duration->family(), DistributionFamily::kExponential);
+}
+
+TEST_F(PolicyTest, OverlayRejectsWrongStageCount) {
+  QueryTruth truth;
+  truth.stage_durations.push_back(std::make_shared<ExponentialDistribution>(1.0));
+  EXPECT_DEATH(truth.OverlayOn(tree_), "mismatch");
+}
+
+}  // namespace
+}  // namespace cedar

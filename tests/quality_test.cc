@@ -1,0 +1,251 @@
+#include "src/core/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/rng.h"
+
+namespace cedar {
+namespace {
+
+TreeSpec GoogleTwoLevel(int k1 = 50, int k2 = 50) {
+  return TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(2.94, 0.55), k1,
+                            std::make_shared<LogNormalDistribution>(2.94, 0.55), k2);
+}
+
+TEST(ExpectedOutputsTest, Limits) {
+  EXPECT_DOUBLE_EQ(ExpectedOutputsGivenNotAll(0.0, 50), 0.0);
+  // phi -> 1 limit is k - 1.
+  EXPECT_DOUBLE_EQ(ExpectedOutputsGivenNotAll(1.0, 50), 49.0);
+  EXPECT_NEAR(ExpectedOutputsGivenNotAll(1.0 - 1e-13, 50), 49.0, 1e-3);
+}
+
+TEST(ExpectedOutputsTest, MonotoneInPhi) {
+  double prev = 0.0;
+  for (double phi = 0.0; phi <= 1.0; phi += 0.01) {
+    double v = ExpectedOutputsGivenNotAll(phi, 20);
+    EXPECT_GE(v, prev - 1e-12);
+    EXPECT_LE(v, 19.0 + 1e-9);
+    prev = v;
+  }
+}
+
+TEST(ExpectedOutputsTest, MatchesMonteCarlo) {
+  // Condition on "not all arrived" with k=5, phi=0.7 (Appendix C formula).
+  const int k = 5;
+  const double phi = 0.7;
+  Rng rng(3);
+  long long trials = 0;
+  long long arrived_sum = 0;
+  for (int t = 0; t < 200000; ++t) {
+    int arrived = 0;
+    for (int i = 0; i < k; ++i) {
+      if (rng.NextDouble() < phi) {
+        ++arrived;
+      }
+    }
+    if (arrived < k) {
+      ++trials;
+      arrived_sum += arrived;
+    }
+  }
+  double mc = static_cast<double>(arrived_sum) / static_cast<double>(trials);
+  EXPECT_NEAR(ExpectedOutputsGivenNotAll(phi, k), mc, 0.02);
+}
+
+TEST(TabulateCdfTest, MatchesDistribution) {
+  LogNormalDistribution dist(2.0, 0.5);
+  auto curve = TabulateCdf(dist, 100.0, 401);
+  for (double x : {0.0, 1.0, 7.5, 25.0, 99.0}) {
+    EXPECT_NEAR(curve(x), dist.Cdf(x), 2e-3) << "x=" << x;
+  }
+  EXPECT_DOUBLE_EQ(curve(0.0), 0.0);
+}
+
+TEST(QualityCurveTest, BaseCaseIsTopStageCdf) {
+  TreeSpec tree = GoogleTwoLevel();
+  auto curve = BuildQualityCurve(tree, /*first_stage=*/1, 200.0);
+  for (double d : {10.0, 50.0, 150.0}) {
+    EXPECT_NEAR(curve(d), tree.stage(1).duration->Cdf(d), 2e-3);
+  }
+}
+
+TEST(QualityCurveTest, BoundedAndMonotone) {
+  TreeSpec tree = GoogleTwoLevel();
+  auto curve = BuildQualityCurve(tree, 0, 300.0);
+  double prev = 0.0;
+  for (double d = 0.0; d <= 300.0; d += 3.0) {
+    double q = curve(d);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+    EXPECT_GE(q, prev - 5e-3) << "quality should not decrease with deadline, d=" << d;
+    prev = std::max(prev, q);
+  }
+}
+
+TEST(QualityCurveTest, StackMatchesRecursiveBuild) {
+  std::vector<StageSpec> stages;
+  stages.emplace_back(std::make_shared<LogNormalDistribution>(2.0, 0.8), 20);
+  stages.emplace_back(std::make_shared<LogNormalDistribution>(2.5, 0.6), 10);
+  stages.emplace_back(std::make_shared<LogNormalDistribution>(2.2, 0.5), 5);
+  TreeSpec tree(std::move(stages));
+  auto stack = BuildQualityCurveStack(tree, 200.0);
+  ASSERT_EQ(stack.size(), 3u);
+  for (int first = 0; first < 3; ++first) {
+    auto direct = BuildQualityCurve(tree, first, 200.0);
+    for (double d = 5.0; d <= 200.0; d += 13.0) {
+      EXPECT_NEAR(stack[static_cast<size_t>(first)](d), direct(d), 1e-9)
+          << "first=" << first << " d=" << d;
+    }
+  }
+}
+
+TEST(QualityCurveTest, ZeroDeadlineGivesZeroQuality) {
+  TreeSpec tree = GoogleTwoLevel();
+  auto curve = BuildQualityCurve(tree, 0, 100.0);
+  EXPECT_DOUBLE_EQ(curve(0.0), 0.0);
+}
+
+TEST(QualityCurveTest, GenerousDeadlineApproachesOne) {
+  TreeSpec tree = GoogleTwoLevel();
+  // Google medians ~19ms; 10s is beyond any relevant percentile.
+  EXPECT_GT(MaxExpectedQuality(tree, 10000.0), 0.99);
+}
+
+TEST(QualityCurveTest, MoreLevelsNeedMoreDeadline) {
+  auto dist = std::make_shared<LogNormalDistribution>(2.94, 0.55);
+  TreeSpec two = TreeSpec::TwoLevel(dist, 20, dist, 20);
+  std::vector<StageSpec> stages3;
+  stages3.emplace_back(dist, 20);
+  stages3.emplace_back(dist, 20);
+  stages3.emplace_back(dist, 20);
+  TreeSpec three{std::move(stages3)};
+  double d = 120.0;
+  EXPECT_GT(MaxExpectedQuality(two, d), MaxExpectedQuality(three, d));
+}
+
+// Cross-check the analytic optimum against brute-force Monte Carlo over
+// fixed waits: q2(D) from the curve must match the best empirical quality
+// within sampling noise. This validates Equations 1-4 end to end.
+TEST(QualityCurveTest, TwoLevelMatchesMonteCarloOptimum) {
+  const int k1 = 30;
+  const int k2 = 30;
+  LogNormalDistribution x1(2.0, 0.9);
+  LogNormalDistribution x2(2.0, 0.6);
+  TreeSpec tree = TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(x1), k1,
+                                     std::make_shared<LogNormalDistribution>(x2), k2);
+  const double deadline = 40.0;
+  double analytic = MaxExpectedQuality(tree, deadline);
+
+  Rng rng(2024);
+  double best_empirical = 0.0;
+  for (double w = 2.0; w < deadline; w += 2.0) {
+    double total_quality = 0.0;
+    const int kTrials = 400;
+    for (int t = 0; t < kTrials; ++t) {
+      long long included = 0;
+      for (int a = 0; a < k2; ++a) {
+        // Aggregator collects arrivals <= its send time; sends early if all
+        // k1 arrive sooner.
+        int arrived = 0;
+        double last = 0.0;
+        std::vector<double> durations(static_cast<size_t>(k1));
+        for (auto& dur : durations) {
+          dur = x1.Sample(rng);
+        }
+        std::sort(durations.begin(), durations.end());
+        for (double dur : durations) {
+          if (dur <= w) {
+            ++arrived;
+            last = dur;
+          }
+        }
+        double send = (arrived == k1) ? last : w;
+        double arrive_at_root = send + x2.Sample(rng);
+        if (arrive_at_root <= deadline) {
+          included += arrived;
+        }
+      }
+      total_quality += static_cast<double>(included) / (k1 * k2);
+    }
+    best_empirical = std::max(best_empirical, total_quality / kTrials);
+  }
+  EXPECT_NEAR(analytic, best_empirical, 0.03);
+}
+
+// Same Monte-Carlo cross-check for a second family (exponential): the
+// quality recursion is distribution-agnostic by construction, but the test
+// pins it.
+TEST(QualityCurveTest, ExponentialTwoLevelMatchesMonteCarloOptimum) {
+  const int k1 = 20;
+  const int k2 = 20;
+  ExponentialDistribution x1(0.2);
+  ExponentialDistribution x2(0.5);
+  TreeSpec tree = TreeSpec::TwoLevel(std::make_shared<ExponentialDistribution>(x1), k1,
+                                     std::make_shared<ExponentialDistribution>(x2), k2);
+  const double deadline = 15.0;
+  double analytic = MaxExpectedQuality(tree, deadline);
+
+  Rng rng(77);
+  double best_empirical = 0.0;
+  for (double w = 1.0; w < deadline; w += 1.0) {
+    double total_quality = 0.0;
+    const int kTrials = 500;
+    for (int t = 0; t < kTrials; ++t) {
+      long long included = 0;
+      for (int a = 0; a < k2; ++a) {
+        int arrived = 0;
+        double last = 0.0;
+        std::vector<double> durations(static_cast<size_t>(k1));
+        for (auto& dur : durations) {
+          dur = x1.Sample(rng);
+        }
+        std::sort(durations.begin(), durations.end());
+        for (double dur : durations) {
+          if (dur <= w) {
+            ++arrived;
+            last = dur;
+          }
+        }
+        double send = (arrived == k1) ? last : w;
+        if (send + x2.Sample(rng) <= deadline) {
+          included += arrived;
+        }
+      }
+      total_quality += static_cast<double>(included) / (k1 * k2);
+    }
+    best_empirical = std::max(best_empirical, total_quality / kTrials);
+  }
+  EXPECT_NEAR(analytic, best_empirical, 0.03);
+}
+
+TEST(QualityCurveTest, WeibullStagesSupported) {
+  TreeSpec tree = TreeSpec::TwoLevel(std::make_shared<WeibullDistribution>(1.5, 10.0), 15,
+                                     std::make_shared<WeibullDistribution>(0.9, 8.0), 15);
+  auto curve = BuildQualityCurve(tree, 0, 100.0);
+  EXPECT_GT(curve(100.0), 0.5);
+  EXPECT_LE(curve(100.0), 1.0);
+  // Monotone in d.
+  EXPECT_LE(curve(30.0), curve(60.0) + 5e-3);
+}
+
+TEST(QualityCurveTest, GridResolutionConverges) {
+  TreeSpec tree = TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(2.0, 0.9), 25,
+                                     std::make_shared<LogNormalDistribution>(2.2, 0.7), 25);
+  QualityGridOptions coarse;
+  coarse.epsilon_fraction = 1.0 / 50.0;
+  coarse.grid_points = 51;
+  QualityGridOptions fine;
+  fine.epsilon_fraction = 1.0 / 800.0;
+  fine.grid_points = 801;
+  for (double d : {20.0, 40.0, 60.0}) {
+    double q_coarse = BuildQualityCurve(tree, 0, 60.0, coarse)(d);
+    double q_fine = BuildQualityCurve(tree, 0, 60.0, fine)(d);
+    EXPECT_NEAR(q_coarse, q_fine, 0.03) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace cedar

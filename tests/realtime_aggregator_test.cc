@@ -1,0 +1,162 @@
+#include "src/rt/realtime_aggregator.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies.h"
+#include "src/core/quality.h"
+
+namespace cedar {
+namespace {
+
+// Wall-clock tests: durations are tens of milliseconds with generous
+// tolerances, so they are robust to scheduler jitter while still proving
+// the timer/arrival interleaving works.
+
+constexpr double kMs = 1e-3;
+
+struct RtFixture {
+  RtFixture()
+      : tree(TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(-3.5, 0.6), 4,
+                                std::make_shared<LogNormalDistribution>(-3.5, 0.6), 2)),
+        upper(TabulateCdf(*tree.stage(1).duration, 1.0, 201)) {
+    ctx.tier = 0;
+    ctx.deadline = 1.0;  // seconds
+    ctx.fanout = 4;
+    ctx.offline_tree = &tree;
+    ctx.upper_quality = &upper;
+    ctx.epsilon = 0.0025;
+  }
+
+  TreeSpec tree;
+  PiecewiseLinear upper;
+  AggregatorContext ctx;
+};
+
+void SleepMs(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(ms * kMs));
+}
+
+TEST(RealtimeAggregatorTest, FiresAtFixedWait) {
+  RtFixture fixture;
+  std::atomic<bool> fired{false};
+  RealtimeAggregator<int>::Result result;
+  RealtimeAggregator<int> aggregator(
+      std::make_unique<FixedWaitPolicy>(0.05), fixture.ctx, [&](auto r) {
+        result = std::move(r);
+        fired = true;
+      });
+  aggregator.Start();
+  aggregator.Offer(1);
+  aggregator.Join();
+  EXPECT_TRUE(fired);
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_FALSE(result.sent_early);
+  EXPECT_GE(result.send_time, 0.045);
+  EXPECT_LT(result.send_time, 0.5);  // generous upper bound vs 50ms target
+}
+
+TEST(RealtimeAggregatorTest, SendsEarlyWhenAllArrive) {
+  RtFixture fixture;
+  RealtimeAggregator<int>::Result result;
+  RealtimeAggregator<int> aggregator(std::make_unique<FixedWaitPolicy>(10.0), fixture.ctx,
+                                     [&](auto r) { result = std::move(r); });
+  aggregator.Start();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(aggregator.Offer(i));
+  }
+  aggregator.Join();
+  EXPECT_TRUE(result.sent_early);
+  EXPECT_EQ(result.outputs.size(), 4u);
+  EXPECT_LT(result.send_time, 1.0) << "must not wait out the 10s timer";
+}
+
+TEST(RealtimeAggregatorTest, LateOffersRejected) {
+  RtFixture fixture;
+  RealtimeAggregator<int> aggregator(std::make_unique<FixedWaitPolicy>(0.02), fixture.ctx,
+                                     [](auto) {});
+  aggregator.Start();
+  aggregator.Join();
+  EXPECT_TRUE(aggregator.sent());
+  EXPECT_FALSE(aggregator.Offer(99)) << "offers after the send are dropped";
+}
+
+TEST(RealtimeAggregatorTest, FlushSendsImmediately) {
+  RtFixture fixture;
+  RealtimeAggregator<int>::Result result;
+  RealtimeAggregator<int> aggregator(std::make_unique<FixedWaitPolicy>(10.0), fixture.ctx,
+                                     [&](auto r) { result = std::move(r); });
+  aggregator.Start();
+  aggregator.Offer(7);
+  aggregator.Flush();
+  aggregator.Join();
+  EXPECT_EQ(result.outputs.size(), 1u);
+  EXPECT_LT(result.send_time, 1.0);
+}
+
+TEST(RealtimeAggregatorTest, ConcurrentOffersAllCounted) {
+  RtFixture fixture;
+  fixture.ctx.fanout = 16;
+  RealtimeAggregator<int>::Result result;
+  RealtimeAggregator<int> aggregator(std::make_unique<FixedWaitPolicy>(5.0), fixture.ctx,
+                                     [&](auto r) { result = std::move(r); });
+  aggregator.Start();
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 16; ++i) {
+    workers.emplace_back([&aggregator, i] {
+      SleepMs(1.0 + (i % 5));
+      aggregator.Offer(i);
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  aggregator.Join();
+  EXPECT_TRUE(result.sent_early);
+  EXPECT_EQ(result.outputs.size(), 16u);
+  // Arrival times must be recorded in nondecreasing order.
+  for (size_t i = 1; i < result.arrival_times.size(); ++i) {
+    EXPECT_GE(result.arrival_times[i], result.arrival_times[i - 1]);
+  }
+}
+
+TEST(RealtimeAggregatorTest, CedarPolicyDrivesRealClockWaits) {
+  // End to end with the real policy: 4 workers, lognormal(-3.5, 0.6) ~ 30ms
+  // durations, deadline 1s. Cedar should collect all four comfortably.
+  RtFixture fixture;
+  RealtimeAggregator<int>::Result result;
+  RealtimeAggregator<int> aggregator(std::make_unique<CedarPolicy>(), fixture.ctx,
+                                     [&](auto r) { result = std::move(r); });
+  aggregator.Start();
+  std::vector<std::thread> workers;
+  Rng rng(3);
+  LogNormalDistribution duration(-3.5, 0.6);
+  for (int i = 0; i < 4; ++i) {
+    double sleep_s = duration.Sample(rng);
+    workers.emplace_back([&aggregator, i, sleep_s] {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+      aggregator.Offer(i);
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  aggregator.Join();
+  EXPECT_EQ(result.outputs.size(), 4u);
+  EXPECT_LT(result.send_time, 1.0);
+}
+
+TEST(RealtimeAggregatorDeathTest, OfferBeforeStartDies) {
+  RtFixture fixture;
+  RealtimeAggregator<int> aggregator(std::make_unique<FixedWaitPolicy>(0.01), fixture.ctx,
+                                     [](auto) {});
+  EXPECT_DEATH(aggregator.Offer(1), "before Start");
+  aggregator.Start();
+  aggregator.Join();
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,203 @@
+#include "src/apps/search_service.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies.h"
+
+namespace cedar {
+namespace {
+
+CorpusSpec SmallCorpus() {
+  CorpusSpec spec;
+  spec.num_documents = 2000;
+  spec.vocabulary_size = 300;
+  spec.terms_per_document = 25;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(SearchIndexTest, DocumentsPartitionedAcrossShards) {
+  SearchIndex index(SmallCorpus(), 8);
+  int64_t total = 0;
+  for (int s = 0; s < index.num_shards(); ++s) {
+    total += index.shard(s).num_documents();
+  }
+  EXPECT_EQ(total, 2000);
+}
+
+TEST(SearchIndexTest, ShardTopKScoresAreDescending) {
+  SearchIndex index(SmallCorpus(), 8);
+  Rng rng(1);
+  auto query = index.SampleQuery(3, rng);
+  auto hits = index.shard(0).TopK(query, 10, index);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(SearchIndexTest, ExactTopKEqualsMergedShardTopKs) {
+  // Merging per-shard top-K lists is lossless for the global top-K when
+  // every shard contributes at least K candidates (standard distributed
+  // search invariant).
+  SearchIndex index(SmallCorpus(), 4);
+  Rng rng(2);
+  for (int q = 0; q < 5; ++q) {
+    auto query = index.SampleQuery(2 + q % 3, rng);
+    auto exact = index.ExactTopK(query, 10);
+    // Rebuild via a single-shard index over the same corpus: identical
+    // document scores, so identical top-K doc sets.
+    SearchIndex single(SmallCorpus(), 1);
+    auto reference = single.ExactTopK(query, 10);
+    ASSERT_EQ(exact.size(), reference.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(exact[i].doc_id, reference[i].doc_id) << "query " << q << " rank " << i;
+      EXPECT_NEAR(exact[i].score, reference[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(SearchIndexTest, IdfDecreasesWithFrequency) {
+  SearchIndex index(SmallCorpus(), 4);
+  // Term 0 is the most frequent under Zipf; a high-rank term is rarer.
+  EXPECT_LT(index.Idf(0), index.Idf(250));
+}
+
+TEST(MergeTopKTest, DeduplicatesAndRanks) {
+  std::vector<std::vector<SearchHit>> lists = {
+      {{1, 5.0}, {2, 3.0}},
+      {{2, 4.0}, {3, 2.0}},
+  };
+  auto merged = MergeTopK(lists, 2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].doc_id, 1);
+  EXPECT_EQ(merged[1].doc_id, 2);
+  EXPECT_DOUBLE_EQ(merged[1].score, 4.0);  // max over duplicates
+}
+
+TEST(RecallTest, Bounds) {
+  std::vector<SearchHit> exact = {{1, 3.0}, {2, 2.0}, {3, 1.0}};
+  EXPECT_DOUBLE_EQ(RecallAtK(exact, exact), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(exact, {}), 0.0);
+  EXPECT_NEAR(RecallAtK(exact, {{2, 9.0}}), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, {}), 1.0);
+}
+
+class SearchServiceTest : public ::testing::Test {
+ protected:
+  SearchServiceTest()
+      : index_(SmallCorpus(), 24),
+        tree_(TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(2.5, 0.8), 6,
+                                 std::make_shared<LogNormalDistribution>(2.0, 0.6), 4)) {}
+
+  QueryRealization MakeRealization(uint64_t seed, uint64_t sequence = 1) {
+    QueryTruth truth;
+    truth.sequence = sequence;
+    truth.stage_durations.push_back(tree_.stage(0).duration);
+    truth.stage_durations.push_back(tree_.stage(1).duration);
+    Rng rng(seed);
+    return SampleRealization(tree_, truth, rng);
+  }
+
+  SearchIndex index_;
+  TreeSpec tree_;
+};
+
+TEST_F(SearchServiceTest, GenerousDeadlinePerfectRecall) {
+  SearchServiceConfig config;
+  config.deadline = 1e5;
+  SearchService service(&index_, tree_, config);
+  Rng rng(3);
+  auto query = index_.SampleQuery(3, rng);
+  CedarPolicy cedar;
+  auto outcome = service.RunQuery(cedar, query, MakeRealization(11));
+  EXPECT_DOUBLE_EQ(outcome.recall, 1.0);
+  EXPECT_DOUBLE_EQ(outcome.fraction_quality, 1.0);
+  EXPECT_EQ(outcome.shards_included, 24);
+}
+
+TEST_F(SearchServiceTest, TightDeadlineLosesRecall) {
+  SearchServiceConfig config;
+  config.deadline = 15.0;  // stage latencies are ~12-25 units
+  SearchService service(&index_, tree_, config);
+  Rng rng(3);
+  auto query = index_.SampleQuery(3, rng);
+  FixedWaitPolicy fixed(5.0);
+  auto outcome = service.RunQuery(fixed, query, MakeRealization(11));
+  EXPECT_LT(outcome.fraction_quality, 1.0);
+  EXPECT_LE(outcome.recall, 1.0);
+}
+
+TEST_F(SearchServiceTest, RecallTracksFractionQuality) {
+  // Across a deadline sweep, recall and fraction quality should both be
+  // non-decreasing (statistically) with the deadline on a fixed
+  // realization.
+  SearchServiceConfig config;
+  config.deadline = 200.0;
+  Rng rng(5);
+  auto query = index_.SampleQuery(3, rng);
+  double prev_recall = -1.0;
+  for (double deadline : {30.0, 60.0, 120.0, 200.0}) {
+    SearchServiceConfig sweep_config;
+    sweep_config.deadline = deadline;
+    SearchService service(&index_, tree_, sweep_config);
+    CedarPolicy cedar;
+    auto outcome = service.RunQuery(cedar, query, MakeRealization(13));
+    EXPECT_GE(outcome.recall, prev_recall - 0.21) << "deadline " << deadline;
+    prev_recall = std::max(prev_recall, outcome.recall);
+  }
+}
+
+TEST_F(SearchServiceTest, CedarBeatsBaselineRecallOnAverage) {
+  // Per-query latency variation: Cedar's adaptation should buy recall.
+  SearchServiceConfig config;
+  config.deadline = 60.0;
+  SearchService service(&index_, tree_, config);
+  ProportionalSplitPolicy baseline;
+  CedarPolicy cedar;
+  Rng rng(21);
+  double base_recall = 0.0;
+  double cedar_recall = 0.0;
+  const int kQueries = 15;
+  for (int q = 0; q < kQueries; ++q) {
+    // Per-query scale variation in the bottom stage.
+    QueryTruth truth;
+    truth.sequence = static_cast<uint64_t>(q + 1);
+    double mu_q = 2.5 + 0.8 * rng.NextGaussian();
+    truth.stage_durations.push_back(std::make_shared<LogNormalDistribution>(mu_q, 0.8));
+    truth.stage_durations.push_back(tree_.stage(1).duration);
+    Rng realization_rng = rng.Fork();
+    auto realization = SampleRealization(tree_, truth, realization_rng);
+    auto query = index_.SampleQuery(3, rng);
+    base_recall += service.RunQuery(baseline, query, realization).recall;
+    cedar_recall += service.RunQuery(cedar, query, realization).recall;
+  }
+  EXPECT_GE(cedar_recall, base_recall - 0.5) << "cedar should not lose recall on average";
+}
+
+TEST_F(SearchServiceTest, DeterministicReplay) {
+  SearchServiceConfig config;
+  config.deadline = 60.0;
+  SearchService service(&index_, tree_, config);
+  Rng rng(9);
+  auto query = index_.SampleQuery(2, rng);
+  CedarPolicy cedar;
+  auto realization = MakeRealization(17);
+  auto a = service.RunQuery(cedar, query, realization);
+  auto b = service.RunQuery(cedar, query, realization);
+  EXPECT_DOUBLE_EQ(a.recall, b.recall);
+  EXPECT_EQ(a.shards_included, b.shards_included);
+}
+
+TEST(SearchServiceDeathTest, FanoutMismatchDies) {
+  SearchIndex index(SmallCorpus(), 10);
+  TreeSpec tree = TreeSpec::TwoLevel(std::make_shared<ExponentialDistribution>(1.0), 3,
+                                     std::make_shared<ExponentialDistribution>(1.0), 4);
+  SearchServiceConfig config;
+  config.deadline = 10.0;
+  EXPECT_DEATH(SearchService(&index, tree, config), "cover every index shard");
+}
+
+}  // namespace
+}  // namespace cedar

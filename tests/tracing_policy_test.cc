@@ -1,0 +1,107 @@
+#include "src/core/tracing_policy.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/common/csv.h"
+#include "src/core/policies.h"
+#include "src/sim/experiment.h"
+#include "src/sim/workload.h"
+
+namespace cedar {
+namespace {
+
+StationaryWorkload SmallWorkload() {
+  return StationaryWorkload(
+      "trace-test", "s",
+      TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(2.0, 0.8), 5,
+                         std::make_shared<LogNormalDistribution>(2.0, 0.6), 4));
+}
+
+TEST(TracingPolicyTest, RecordsInitialAndArrivalDecisions) {
+  DecisionRecorder recorder;
+  TracingPolicy traced(std::make_unique<CedarPolicy>(), &recorder);
+
+  StationaryWorkload workload = SmallWorkload();
+  ExperimentConfig config;
+  config.deadline = 60.0;
+  config.num_queries = 3;
+  config.seed = 5;
+  RunExperiment(workload, {&traced}, config);
+
+  auto records = recorder.Snapshot();
+  ASSERT_FALSE(records.empty());
+  // 4 aggregators x 3 queries = 12 initial decisions (arrivals == 0)...
+  int initials = 0;
+  for (const auto& record : records) {
+    if (record.arrivals == 0) {
+      ++initials;
+    }
+    EXPECT_EQ(record.tier, 0);
+    EXPECT_GE(record.wait, 0.0);
+  }
+  EXPECT_EQ(initials, 12);
+  // ...plus per-arrival decisions (4 of 5 arrivals trigger OnArrival; the
+  // 5th sends early).
+  EXPECT_GT(records.size(), 12u);
+}
+
+TEST(TracingPolicyTest, QueriesSeparableBySequence) {
+  DecisionRecorder recorder;
+  TracingPolicy traced(std::make_unique<ProportionalSplitPolicy>(), &recorder);
+  StationaryWorkload workload = SmallWorkload();
+  ExperimentConfig config;
+  config.deadline = 60.0;
+  config.num_queries = 2;
+  config.seed = 9;
+  RunExperiment(workload, {&traced}, config);
+
+  auto all = recorder.Snapshot();
+  std::set<uint64_t> sequences;
+  for (const auto& record : all) {
+    sequences.insert(record.query_sequence);
+  }
+  EXPECT_EQ(sequences.size(), 2u);
+  for (uint64_t sequence : sequences) {
+    EXPECT_FALSE(recorder.ForQuery(sequence).empty());
+  }
+  EXPECT_TRUE(recorder.ForQuery(999999).empty());
+}
+
+TEST(TracingPolicyTest, NameAndBehaviourDelegate) {
+  DecisionRecorder recorder;
+  TracingPolicy traced(std::make_unique<FixedWaitPolicy>(17.0), &recorder);
+  EXPECT_EQ(traced.name(), "fixed");
+
+  TreeSpec tree = TreeSpec::TwoLevel(std::make_shared<ExponentialDistribution>(1.0), 2,
+                                     std::make_shared<ExponentialDistribution>(1.0), 2);
+  AggregatorContext ctx;
+  ctx.deadline = 100.0;
+  ctx.fanout = 2;
+  ctx.offline_tree = &tree;
+  traced.BeginQuery(ctx, nullptr);
+  EXPECT_DOUBLE_EQ(traced.DecideInitialWait(ctx), 17.0);
+  EXPECT_DOUBLE_EQ(traced.DecideOnArrival(ctx, 2.0, {2.0}), 17.0);
+  EXPECT_EQ(recorder.size(), 2u);
+}
+
+TEST(TracingPolicyTest, ClearAndCsvRoundTrip) {
+  DecisionRecorder recorder;
+  recorder.Record({7, 0, 3, 1.25, 42.0});
+  recorder.Record({7, 1, 0, 0.0, 55.0});
+
+  std::string path = ::testing::TempDir() + "/cedar_decisions.csv";
+  recorder.WriteCsv(path);
+  CsvDocument doc = ReadCsvFile(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][doc.ColumnIndex("query")], "7");
+  EXPECT_EQ(std::stod(doc.rows[0][static_cast<size_t>(doc.ColumnIndex("wait"))]), 42.0);
+
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,153 @@
+#include "src/core/wait_optimizer.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace cedar {
+namespace {
+
+// Two-level helper: the upper-quality curve is just the CDF of X2.
+struct TwoLevelFixture {
+  TwoLevelFixture(double mu1, double sigma1, double mu2, double sigma2, int k1, int k2,
+                  double deadline)
+      : tree(TreeSpec::TwoLevel(std::make_shared<LogNormalDistribution>(mu1, sigma1), k1,
+                                std::make_shared<LogNormalDistribution>(mu2, sigma2), k2)),
+        deadline(deadline),
+        upper(TabulateCdf(*tree.stage(1).duration, deadline, 401)),
+        epsilon(deadline / 400.0) {}
+
+  TreeSpec tree;
+  double deadline;
+  PiecewiseLinear upper;
+  double epsilon;
+};
+
+TEST(OptimizeWaitTest, WaitWithinBudget) {
+  TwoLevelFixture f(2.0, 0.9, 2.0, 0.6, 30, 30, 40.0);
+  WaitDecision d = OptimizeWait(*f.tree.stage(0).duration, 30, f.upper, f.deadline, f.epsilon);
+  EXPECT_GE(d.wait, 0.0);
+  EXPECT_LE(d.wait, f.deadline);
+  EXPECT_GT(d.expected_quality, 0.0);
+  EXPECT_LE(d.expected_quality, 1.0);
+}
+
+TEST(OptimizeWaitTest, ZeroOrNegativeDeadline) {
+  TwoLevelFixture f(2.0, 0.9, 2.0, 0.6, 30, 30, 40.0);
+  WaitDecision d = OptimizeWait(*f.tree.stage(0).duration, 30, f.upper, 0.0, f.epsilon);
+  EXPECT_DOUBLE_EQ(d.wait, 0.0);
+  EXPECT_DOUBLE_EQ(d.expected_quality, 0.0);
+  d = OptimizeWait(*f.tree.stage(0).duration, 30, f.upper, -5.0, f.epsilon);
+  EXPECT_DOUBLE_EQ(d.wait, 0.0);
+}
+
+TEST(OptimizeWaitTest, DominatesEveryScanPoint) {
+  // The scan's running max by construction dominates every candidate c; the
+  // property worth checking is that the returned expected quality equals
+  // the partial-sum max, i.e. re-running with a different starting epsilon
+  // never finds a better value at the same resolution.
+  TwoLevelFixture f(3.0, 1.2, 2.5, 0.8, 40, 40, 100.0);
+  WaitDecision fine =
+      OptimizeWait(*f.tree.stage(0).duration, 40, f.upper, f.deadline, f.deadline / 1000.0);
+  WaitDecision coarse =
+      OptimizeWait(*f.tree.stage(0).duration, 40, f.upper, f.deadline, f.deadline / 100.0);
+  // Finer scan can only help (discretization error shrinks).
+  EXPECT_GE(fine.expected_quality, coarse.expected_quality - 5e-3);
+  EXPECT_NEAR(fine.expected_quality, coarse.expected_quality, 0.03);
+}
+
+TEST(OptimizeWaitTest, SlackDeadlineWaitsGenerously) {
+  // With a huge deadline relative to both stages, waiting long enough to
+  // collect everything costs nothing: expected quality ~ 1.
+  TwoLevelFixture f(2.0, 0.5, 2.0, 0.5, 20, 20, 1000.0);
+  WaitDecision d = OptimizeWait(*f.tree.stage(0).duration, 20, f.upper, f.deadline, f.epsilon);
+  EXPECT_GT(d.expected_quality, 0.99);
+  // The chosen wait covers virtually the whole X1 distribution.
+  EXPECT_GT(f.tree.stage(0).duration->Cdf(d.wait), 0.99);
+}
+
+TEST(OptimizeWaitTest, TightDeadlineLeavesRoomForUpperStage) {
+  // X2 is comparable to the deadline: the optimizer must reserve room.
+  TwoLevelFixture f(2.0, 0.5, 3.0, 0.5, 20, 20, 30.0);
+  WaitDecision d = OptimizeWait(*f.tree.stage(0).duration, 20, f.upper, f.deadline, f.epsilon);
+  EXPECT_LT(d.wait, 20.0) << "must leave budget for X2 (mean ~23)";
+}
+
+TEST(OptimizeWaitTest, HigherUpperVarianceShortensWait) {
+  TwoLevelFixture low(3.0, 0.8, 2.5, 0.4, 30, 30, 60.0);
+  TwoLevelFixture high(3.0, 0.8, 2.5, 1.2, 30, 30, 60.0);
+  WaitDecision wl =
+      OptimizeWait(*low.tree.stage(0).duration, 30, low.upper, low.deadline, low.epsilon);
+  WaitDecision wh =
+      OptimizeWait(*high.tree.stage(0).duration, 30, high.upper, high.deadline, high.epsilon);
+  // Heavier upper tail raises the risk of missing the deadline; the optimal
+  // wait should not increase.
+  EXPECT_LE(wh.wait, wl.wait + low.epsilon);
+}
+
+TEST(PlanTreeTest, TwoLevelPlanMatchesDirectOptimization) {
+  TwoLevelFixture f(2.0, 0.9, 2.0, 0.6, 30, 30, 40.0);
+  TreePlan plan = PlanTree(f.tree, f.deadline);
+  ASSERT_EQ(plan.absolute_waits.size(), 1u);
+  WaitDecision direct =
+      OptimizeWait(*f.tree.stage(0).duration, 30, f.upper, f.deadline, f.epsilon);
+  EXPECT_NEAR(plan.absolute_waits[0], direct.wait, f.epsilon + 1e-9);
+  EXPECT_NEAR(plan.expected_quality, direct.expected_quality, 0.02);
+}
+
+TEST(PlanTreeTest, ThreeLevelWaitsAscend) {
+  std::vector<StageSpec> stages;
+  stages.emplace_back(std::make_shared<LogNormalDistribution>(2.0, 0.8), 20);
+  stages.emplace_back(std::make_shared<LogNormalDistribution>(2.2, 0.6), 10);
+  stages.emplace_back(std::make_shared<LogNormalDistribution>(2.1, 0.5), 5);
+  TreeSpec tree(std::move(stages));
+  TreePlan plan = PlanTree(tree, 150.0);
+  ASSERT_EQ(plan.absolute_waits.size(), 2u);
+  EXPECT_GE(plan.absolute_waits[0], 0.0);
+  EXPECT_GE(plan.absolute_waits[1], plan.absolute_waits[0]);
+  EXPECT_LE(plan.absolute_waits[1], 150.0);
+  EXPECT_GT(plan.expected_quality, 0.0);
+}
+
+TEST(PlanTreeTest, ExpectedQualityMonotoneInDeadline) {
+  TwoLevelFixture f(2.0, 0.9, 2.0, 0.6, 30, 30, 40.0);
+  double prev = 0.0;
+  for (double deadline : {10.0, 20.0, 40.0, 80.0, 160.0}) {
+    TreePlan plan = PlanTree(f.tree, deadline);
+    EXPECT_GE(plan.expected_quality, prev - 1e-6) << "deadline=" << deadline;
+    prev = plan.expected_quality;
+  }
+}
+
+class ParallelOptimizerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelOptimizerTest, MatchesSerialScan) {
+  int threads = GetParam();
+  TwoLevelFixture f(3.0, 1.2, 2.5, 0.8, 40, 40, 100.0);
+  WaitDecision serial =
+      OptimizeWait(*f.tree.stage(0).duration, 40, f.upper, f.deadline, f.epsilon);
+  WaitDecision parallel = OptimizeWaitParallel(*f.tree.stage(0).duration, 40, f.upper,
+                                               f.deadline, f.epsilon, threads);
+  EXPECT_NEAR(parallel.wait, serial.wait, 1e-9) << "threads=" << threads;
+  EXPECT_NEAR(parallel.expected_quality, serial.expected_quality, 1e-9)
+      << "threads=" << threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelOptimizerTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 1000));
+
+TEST(ParallelOptimizerTest, ZeroDeadlineFallsBack) {
+  TwoLevelFixture f(2.0, 0.9, 2.0, 0.6, 30, 30, 40.0);
+  WaitDecision d =
+      OptimizeWaitParallel(*f.tree.stage(0).duration, 30, f.upper, 0.0, f.epsilon, 4);
+  EXPECT_DOUBLE_EQ(d.wait, 0.0);
+}
+
+TEST(OptimizeWaitDeathTest, RejectsBadArguments) {
+  TwoLevelFixture f(2.0, 0.9, 2.0, 0.6, 30, 30, 40.0);
+  EXPECT_DEATH(OptimizeWait(*f.tree.stage(0).duration, 0, f.upper, 10.0, 0.1), "fanout");
+  EXPECT_DEATH(OptimizeWait(*f.tree.stage(0).duration, 30, f.upper, 10.0, 0.0), "epsilon");
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,154 @@
+// cedar_sim: flag-driven experiment runner — the Swiss-army entry point for
+// exploring workloads, policies, deadlines, and execution engines without
+// writing code.
+//
+// Examples:
+//   cedar_sim --workload=facebook --policies=prop-split,cedar,ideal
+//             --deadlines=500,1000,2000 --queries=100
+//   cedar_sim --workload=interactive --engine=cluster --machines=80 --slots=4
+//   cedar_sim --workload=facebook --engine=loaded --interarrival=200
+//             --policies=cedar
+//   cedar_sim --workload=google-sigma:1.7 --csv=/tmp/results.csv
+
+#include <iostream>
+#include <sstream>
+
+#include "src/cluster/experiment.h"
+#include "src/cluster/loaded_runtime.h"
+#include "src/common/csv.h"
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/common/table.h"
+#include "src/core/policy_registry.h"
+#include "src/sim/experiment.h"
+#include "src/trace/workloads.h"
+
+namespace {
+
+std::vector<double> ParseDoubleList(const std::string& text) {
+  std::vector<double> values;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) {
+      values.push_back(std::stod(token));
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cedar;
+  FlagSet flags(
+      "cedar_sim: run aggregation-query experiments from the command line.\n"
+      "Engines: sim (analytic tree simulator), cluster (slot-scheduled engine),\n"
+      "loaded (multi-query Poisson arrivals on a shared cluster).");
+  std::string* workload_name =
+      flags.AddString("workload", "facebook", "workload name (see src/trace/workloads.h)");
+  std::string* policy_list = flags.AddString(
+      "policies", "prop-split,cedar,ideal", "comma-separated policy names");
+  std::string* deadlines_text =
+      flags.AddString("deadlines", "500,1000,2000,3000", "comma-separated deadlines");
+  std::string* engine = flags.AddString("engine", "sim", "sim | cluster | loaded");
+  int64_t* queries = flags.AddInt("queries", 100, "queries per deadline");
+  int64_t* k1 = flags.AddInt("k1", 50, "bottom fanout");
+  int64_t* k2 = flags.AddInt("k2", 50, "upper fanout");
+  int64_t* machines = flags.AddInt("machines", 80, "cluster machines (cluster/loaded engines)");
+  int64_t* slots = flags.AddInt("slots", 4, "slots per machine");
+  double* slow_fraction =
+      flags.AddDouble("slow_fraction", 0.0, "fraction of slow machines (cluster engine)");
+  double* slow_factor = flags.AddDouble("slow_factor", 1.0, "slowdown of slow machines");
+  bool* speculation = flags.AddBool("speculation", false, "enable task speculation (cluster)");
+  double* interarrival =
+      flags.AddDouble("interarrival", 100.0, "mean query inter-arrival time (loaded engine)");
+  int64_t* seed = flags.AddInt("seed", 42, "rng seed");
+  std::string* csv_path = flags.AddString("csv", "", "also write results to this CSV file");
+  flags.Parse(argc, argv);
+
+  auto workload =
+      MakeWorkloadByName(*workload_name, static_cast<int>(*k1), static_cast<int>(*k2));
+  auto policies = MakePolicyList(*policy_list);
+  std::vector<const WaitPolicy*> policy_ptrs;
+  policy_ptrs.reserve(policies.size());
+  for (const auto& policy : policies) {
+    policy_ptrs.push_back(policy.get());
+  }
+  std::vector<double> deadlines = ParseDoubleList(*deadlines_text);
+
+  std::vector<std::string> columns = {"deadline"};
+  for (const auto* policy : policy_ptrs) {
+    columns.push_back("q(" + policy->name() + ")");
+  }
+  if (*engine == "loaded") {
+    columns.push_back("utilization");
+    columns.push_back("mean_queue_delay");
+  }
+  TablePrinter table(columns);
+  std::unique_ptr<CsvWriter> csv;
+  if (!csv_path->empty()) {
+    csv = std::make_unique<CsvWriter>(*csv_path);
+    csv->Header(columns);
+  }
+
+  PrintBanner(std::cout, "cedar_sim: " + workload->name() + " on engine '" + *engine + "'");
+  std::cout << "offline tree: " << workload->OfflineTree().ToString() << "\n";
+
+  for (double deadline : deadlines) {
+    std::vector<std::string> row = {TablePrinter::FormatDouble(deadline, 0)};
+    if (*engine == "sim") {
+      ExperimentConfig config;
+      config.deadline = deadline;
+      config.num_queries = static_cast<int>(*queries);
+      config.seed = static_cast<uint64_t>(*seed);
+      auto result = RunExperiment(*workload, policy_ptrs, config);
+      for (const auto* policy : policy_ptrs) {
+        row.push_back(TablePrinter::FormatDouble(result.Outcome(policy->name()).MeanQuality(), 4));
+      }
+    } else if (*engine == "cluster") {
+      ClusterExperimentConfig config;
+      config.cluster.machines = static_cast<int>(*machines);
+      config.cluster.slots_per_machine = static_cast<int>(*slots);
+      config.cluster.slow_machine_fraction = *slow_fraction;
+      config.cluster.slow_machine_factor = *slow_factor;
+      config.deadline = deadline;
+      config.num_queries = static_cast<int>(*queries);
+      config.seed = static_cast<uint64_t>(*seed);
+      config.run.speculation.enabled = *speculation;
+      auto result = RunClusterExperiment(*workload, policy_ptrs, config);
+      for (const auto* policy : policy_ptrs) {
+        row.push_back(TablePrinter::FormatDouble(result.Outcome(policy->name()).MeanQuality(), 4));
+      }
+    } else if (*engine == "loaded") {
+      LoadedRunConfig config;
+      config.cluster.machines = static_cast<int>(*machines);
+      config.cluster.slots_per_machine = static_cast<int>(*slots);
+      config.deadline = deadline;
+      config.mean_interarrival = *interarrival;
+      config.num_queries = static_cast<int>(*queries);
+      config.seed = static_cast<uint64_t>(*seed);
+      double utilization = 0.0;
+      double queue_delay = 0.0;
+      for (const auto* policy : policy_ptrs) {
+        LoadedRunResult result = RunLoadedCluster(*workload, *policy, config);
+        row.push_back(TablePrinter::FormatDouble(result.MeanQuality(), 4));
+        utilization = result.utilization;
+        queue_delay = result.mean_queue_delay;
+      }
+      row.push_back(TablePrinter::FormatDouble(utilization, 3));
+      row.push_back(TablePrinter::FormatDouble(queue_delay, 2));
+    } else {
+      CEDAR_LOG(FATAL) << "unknown engine '" << *engine << "' (sim | cluster | loaded)";
+    }
+    if (csv != nullptr) {
+      csv->Row(row);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  if (csv != nullptr) {
+    std::cout << "results written to " << *csv_path << "\n";
+  }
+  return 0;
+}
