@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_quality.dir/bench_app_quality.cc.o"
+  "CMakeFiles/bench_app_quality.dir/bench_app_quality.cc.o.d"
+  "bench_app_quality"
+  "bench_app_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

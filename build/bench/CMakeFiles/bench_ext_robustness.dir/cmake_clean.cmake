@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_robustness.dir/bench_ext_robustness.cc.o"
+  "CMakeFiles/bench_ext_robustness.dir/bench_ext_robustness.cc.o.d"
+  "bench_ext_robustness"
+  "bench_ext_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_bing_rtt.dir/bench_fig04_bing_rtt.cc.o"
+  "CMakeFiles/bench_fig04_bing_rtt.dir/bench_fig04_bing_rtt.cc.o.d"
+  "bench_fig04_bing_rtt"
+  "bench_fig04_bing_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_bing_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_empirical.dir/bench_fig10_empirical.cc.o"
+  "CMakeFiles/bench_fig10_empirical.dir/bench_fig10_empirical.cc.o.d"
+  "bench_fig10_empirical"
+  "bench_fig10_empirical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_online_learning.dir/bench_fig11_online_learning.cc.o"
+  "CMakeFiles/bench_fig11_online_learning.dir/bench_fig11_online_learning.cc.o.d"
+  "bench_fig11_online_learning"
+  "bench_fig11_online_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_online_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

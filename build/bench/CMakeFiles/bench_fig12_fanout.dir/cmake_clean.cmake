@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_fanout.dir/bench_fig12_fanout.cc.o"
+  "CMakeFiles/bench_fig12_fanout.dir/bench_fig12_fanout.cc.o.d"
+  "bench_fig12_fanout"
+  "bench_fig12_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

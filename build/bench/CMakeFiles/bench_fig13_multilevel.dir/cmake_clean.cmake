@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_multilevel.dir/bench_fig13_multilevel.cc.o"
+  "CMakeFiles/bench_fig13_multilevel.dir/bench_fig13_multilevel.cc.o.d"
+  "bench_fig13_multilevel"
+  "bench_fig13_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_interactive.dir/bench_fig14_interactive.cc.o"
+  "CMakeFiles/bench_fig14_interactive.dir/bench_fig14_interactive.cc.o.d"
+  "bench_fig14_interactive"
+  "bench_fig14_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_cosmos.dir/bench_fig15_cosmos.cc.o"
+  "CMakeFiles/bench_fig15_cosmos.dir/bench_fig15_cosmos.cc.o.d"
+  "bench_fig15_cosmos"
+  "bench_fig15_cosmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cosmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

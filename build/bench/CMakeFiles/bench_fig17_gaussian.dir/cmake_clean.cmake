@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_gaussian.dir/bench_fig17_gaussian.cc.o"
+  "CMakeFiles/bench_fig17_gaussian.dir/bench_fig17_gaussian.cc.o.d"
+  "bench_fig17_gaussian"
+  "bench_fig17_gaussian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_gaussian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_estimator.dir/bench_micro_estimator.cc.o"
+  "CMakeFiles/bench_micro_estimator.dir/bench_micro_estimator.cc.o.d"
+  "bench_micro_estimator"
+  "bench_micro_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/cedar_bench_util.dir/bench_util.cc.o.d"
+  "libcedar_bench_util.a"
+  "libcedar_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

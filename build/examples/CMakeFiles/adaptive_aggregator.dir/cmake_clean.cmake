@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_aggregator.dir/adaptive_aggregator.cpp.o"
+  "CMakeFiles/adaptive_aggregator.dir/adaptive_aggregator.cpp.o.d"
+  "adaptive_aggregator"
+  "adaptive_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

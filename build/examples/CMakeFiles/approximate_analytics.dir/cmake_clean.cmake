@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_analytics.dir/approximate_analytics.cpp.o"
+  "CMakeFiles/approximate_analytics.dir/approximate_analytics.cpp.o.d"
+  "approximate_analytics"
+  "approximate_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_service.dir/realtime_service.cpp.o"
+  "CMakeFiles/realtime_service.dir/realtime_service.cpp.o.d"
+  "realtime_service"
+  "realtime_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--queries=3" "--deadline=800")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_search_engine "/root/repo/build/examples/search_engine" "--queries=10" "--deadline_ms=150")
+set_tests_properties(example_search_engine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_approximate_analytics "/root/repo/build/examples/approximate_analytics" "--jobs=5" "--trace=/root/repo/build/smoke_jobs.csv")
+set_tests_properties(example_approximate_analytics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_aggregator "/root/repo/build/examples/adaptive_aggregator" "--fanout=20")
+set_tests_properties(example_adaptive_aggregator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_realtime_service "/root/repo/build/examples/realtime_service" "--fanout=6" "--deadline_ms=120")
+set_tests_properties(example_realtime_service PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool_cedar_plan "/root/repo/build/tools/cedar_plan" "--deadline=500" "--curve_points=4")
+set_tests_properties(tool_cedar_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool_cedar_sim "/root/repo/build/tools/cedar_sim" "--workload=cosmos" "--deadlines=100" "--queries=5" "--k1=5" "--k2=5")
+set_tests_properties(tool_cedar_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(tool_cedar_trace "/root/repo/build/tools/cedar_trace" "--mode=fit" "--workload=gaussian" "--samples=2000" "--k1=5" "--k2=5")
+set_tests_properties(tool_cedar_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

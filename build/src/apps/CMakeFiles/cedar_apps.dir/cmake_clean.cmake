@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_apps.dir/analytics_service.cc.o"
+  "CMakeFiles/cedar_apps.dir/analytics_service.cc.o.d"
+  "CMakeFiles/cedar_apps.dir/search_index.cc.o"
+  "CMakeFiles/cedar_apps.dir/search_index.cc.o.d"
+  "CMakeFiles/cedar_apps.dir/search_service.cc.o"
+  "CMakeFiles/cedar_apps.dir/search_service.cc.o.d"
+  "libcedar_apps.a"
+  "libcedar_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_runtime.cc" "src/cluster/CMakeFiles/cedar_cluster.dir/cluster_runtime.cc.o" "gcc" "src/cluster/CMakeFiles/cedar_cluster.dir/cluster_runtime.cc.o.d"
+  "/root/repo/src/cluster/experiment.cc" "src/cluster/CMakeFiles/cedar_cluster.dir/experiment.cc.o" "gcc" "src/cluster/CMakeFiles/cedar_cluster.dir/experiment.cc.o.d"
+  "/root/repo/src/cluster/loaded_runtime.cc" "src/cluster/CMakeFiles/cedar_cluster.dir/loaded_runtime.cc.o" "gcc" "src/cluster/CMakeFiles/cedar_cluster.dir/loaded_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cedar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cedar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cedar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cedar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_cluster.dir/cluster_runtime.cc.o"
+  "CMakeFiles/cedar_cluster.dir/cluster_runtime.cc.o.d"
+  "CMakeFiles/cedar_cluster.dir/experiment.cc.o"
+  "CMakeFiles/cedar_cluster.dir/experiment.cc.o.d"
+  "CMakeFiles/cedar_cluster.dir/loaded_runtime.cc.o"
+  "CMakeFiles/cedar_cluster.dir/loaded_runtime.cc.o.d"
+  "libcedar_cluster.a"
+  "libcedar_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcedar_cluster.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_common.dir/csv.cc.o"
+  "CMakeFiles/cedar_common.dir/csv.cc.o.d"
+  "CMakeFiles/cedar_common.dir/flags.cc.o"
+  "CMakeFiles/cedar_common.dir/flags.cc.o.d"
+  "CMakeFiles/cedar_common.dir/histogram.cc.o"
+  "CMakeFiles/cedar_common.dir/histogram.cc.o.d"
+  "CMakeFiles/cedar_common.dir/logging.cc.o"
+  "CMakeFiles/cedar_common.dir/logging.cc.o.d"
+  "CMakeFiles/cedar_common.dir/math_util.cc.o"
+  "CMakeFiles/cedar_common.dir/math_util.cc.o.d"
+  "CMakeFiles/cedar_common.dir/sample_set.cc.o"
+  "CMakeFiles/cedar_common.dir/sample_set.cc.o.d"
+  "CMakeFiles/cedar_common.dir/table.cc.o"
+  "CMakeFiles/cedar_common.dir/table.cc.o.d"
+  "libcedar_common.a"
+  "libcedar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dual.cc" "src/core/CMakeFiles/cedar_core.dir/dual.cc.o" "gcc" "src/core/CMakeFiles/cedar_core.dir/dual.cc.o.d"
+  "/root/repo/src/core/online_learner.cc" "src/core/CMakeFiles/cedar_core.dir/online_learner.cc.o" "gcc" "src/core/CMakeFiles/cedar_core.dir/online_learner.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/cedar_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/cedar_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/cedar_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/cedar_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/policy_registry.cc" "src/core/CMakeFiles/cedar_core.dir/policy_registry.cc.o" "gcc" "src/core/CMakeFiles/cedar_core.dir/policy_registry.cc.o.d"
+  "/root/repo/src/core/quality.cc" "src/core/CMakeFiles/cedar_core.dir/quality.cc.o" "gcc" "src/core/CMakeFiles/cedar_core.dir/quality.cc.o.d"
+  "/root/repo/src/core/tracing_policy.cc" "src/core/CMakeFiles/cedar_core.dir/tracing_policy.cc.o" "gcc" "src/core/CMakeFiles/cedar_core.dir/tracing_policy.cc.o.d"
+  "/root/repo/src/core/tree.cc" "src/core/CMakeFiles/cedar_core.dir/tree.cc.o" "gcc" "src/core/CMakeFiles/cedar_core.dir/tree.cc.o.d"
+  "/root/repo/src/core/wait_optimizer.cc" "src/core/CMakeFiles/cedar_core.dir/wait_optimizer.cc.o" "gcc" "src/core/CMakeFiles/cedar_core.dir/wait_optimizer.cc.o.d"
+  "/root/repo/src/core/wait_table.cc" "src/core/CMakeFiles/cedar_core.dir/wait_table.cc.o" "gcc" "src/core/CMakeFiles/cedar_core.dir/wait_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/cedar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cedar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_core.dir/dual.cc.o"
+  "CMakeFiles/cedar_core.dir/dual.cc.o.d"
+  "CMakeFiles/cedar_core.dir/online_learner.cc.o"
+  "CMakeFiles/cedar_core.dir/online_learner.cc.o.d"
+  "CMakeFiles/cedar_core.dir/policies.cc.o"
+  "CMakeFiles/cedar_core.dir/policies.cc.o.d"
+  "CMakeFiles/cedar_core.dir/policy.cc.o"
+  "CMakeFiles/cedar_core.dir/policy.cc.o.d"
+  "CMakeFiles/cedar_core.dir/policy_registry.cc.o"
+  "CMakeFiles/cedar_core.dir/policy_registry.cc.o.d"
+  "CMakeFiles/cedar_core.dir/quality.cc.o"
+  "CMakeFiles/cedar_core.dir/quality.cc.o.d"
+  "CMakeFiles/cedar_core.dir/tracing_policy.cc.o"
+  "CMakeFiles/cedar_core.dir/tracing_policy.cc.o.d"
+  "CMakeFiles/cedar_core.dir/tree.cc.o"
+  "CMakeFiles/cedar_core.dir/tree.cc.o.d"
+  "CMakeFiles/cedar_core.dir/wait_optimizer.cc.o"
+  "CMakeFiles/cedar_core.dir/wait_optimizer.cc.o.d"
+  "CMakeFiles/cedar_core.dir/wait_table.cc.o"
+  "CMakeFiles/cedar_core.dir/wait_table.cc.o.d"
+  "libcedar_core.a"
+  "libcedar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/cedar_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/cedar_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/cedar_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/cedar_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/realization.cc" "src/sim/CMakeFiles/cedar_sim.dir/realization.cc.o" "gcc" "src/sim/CMakeFiles/cedar_sim.dir/realization.cc.o.d"
+  "/root/repo/src/sim/tree_simulation.cc" "src/sim/CMakeFiles/cedar_sim.dir/tree_simulation.cc.o" "gcc" "src/sim/CMakeFiles/cedar_sim.dir/tree_simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cedar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cedar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cedar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

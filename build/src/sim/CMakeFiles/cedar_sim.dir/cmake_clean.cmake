@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cedar_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cedar_sim.dir/experiment.cc.o"
+  "CMakeFiles/cedar_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/cedar_sim.dir/realization.cc.o"
+  "CMakeFiles/cedar_sim.dir/realization.cc.o.d"
+  "CMakeFiles/cedar_sim.dir/tree_simulation.cc.o"
+  "CMakeFiles/cedar_sim.dir/tree_simulation.cc.o.d"
+  "libcedar_sim.a"
+  "libcedar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/distribution.cc" "src/stats/CMakeFiles/cedar_stats.dir/distribution.cc.o" "gcc" "src/stats/CMakeFiles/cedar_stats.dir/distribution.cc.o.d"
+  "/root/repo/src/stats/estimators.cc" "src/stats/CMakeFiles/cedar_stats.dir/estimators.cc.o" "gcc" "src/stats/CMakeFiles/cedar_stats.dir/estimators.cc.o.d"
+  "/root/repo/src/stats/fitting.cc" "src/stats/CMakeFiles/cedar_stats.dir/fitting.cc.o" "gcc" "src/stats/CMakeFiles/cedar_stats.dir/fitting.cc.o.d"
+  "/root/repo/src/stats/mixture.cc" "src/stats/CMakeFiles/cedar_stats.dir/mixture.cc.o" "gcc" "src/stats/CMakeFiles/cedar_stats.dir/mixture.cc.o.d"
+  "/root/repo/src/stats/normal_math.cc" "src/stats/CMakeFiles/cedar_stats.dir/normal_math.cc.o" "gcc" "src/stats/CMakeFiles/cedar_stats.dir/normal_math.cc.o.d"
+  "/root/repo/src/stats/order_statistics.cc" "src/stats/CMakeFiles/cedar_stats.dir/order_statistics.cc.o" "gcc" "src/stats/CMakeFiles/cedar_stats.dir/order_statistics.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/cedar_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/cedar_stats.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cedar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_stats.dir/distribution.cc.o"
+  "CMakeFiles/cedar_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/cedar_stats.dir/estimators.cc.o"
+  "CMakeFiles/cedar_stats.dir/estimators.cc.o.d"
+  "CMakeFiles/cedar_stats.dir/fitting.cc.o"
+  "CMakeFiles/cedar_stats.dir/fitting.cc.o.d"
+  "CMakeFiles/cedar_stats.dir/mixture.cc.o"
+  "CMakeFiles/cedar_stats.dir/mixture.cc.o.d"
+  "CMakeFiles/cedar_stats.dir/normal_math.cc.o"
+  "CMakeFiles/cedar_stats.dir/normal_math.cc.o.d"
+  "CMakeFiles/cedar_stats.dir/order_statistics.cc.o"
+  "CMakeFiles/cedar_stats.dir/order_statistics.cc.o.d"
+  "CMakeFiles/cedar_stats.dir/rng.cc.o"
+  "CMakeFiles/cedar_stats.dir/rng.cc.o.d"
+  "libcedar_stats.a"
+  "libcedar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_trace.dir/calibration.cc.o"
+  "CMakeFiles/cedar_trace.dir/calibration.cc.o.d"
+  "CMakeFiles/cedar_trace.dir/trace_io.cc.o"
+  "CMakeFiles/cedar_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/cedar_trace.dir/workloads.cc.o"
+  "CMakeFiles/cedar_trace.dir/workloads.cc.o.d"
+  "libcedar_trace.a"
+  "libcedar_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregator_node_test.dir/aggregator_node_test.cc.o"
+  "CMakeFiles/aggregator_node_test.dir/aggregator_node_test.cc.o.d"
+  "aggregator_node_test"
+  "aggregator_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregator_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_app_test.dir/analytics_app_test.cc.o"
+  "CMakeFiles/analytics_app_test.dir/analytics_app_test.cc.o.d"
+  "analytics_app_test"
+  "analytics_app_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_test.dir/dual_test.cc.o"
+  "CMakeFiles/dual_test.dir/dual_test.cc.o.d"
+  "dual_test"
+  "dual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

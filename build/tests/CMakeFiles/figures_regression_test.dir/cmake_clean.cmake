@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_regression_test.dir/figures_regression_test.cc.o"
+  "CMakeFiles/figures_regression_test.dir/figures_regression_test.cc.o.d"
+  "figures_regression_test"
+  "figures_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

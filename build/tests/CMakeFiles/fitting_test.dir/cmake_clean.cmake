@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fitting_test.dir/fitting_test.cc.o"
+  "CMakeFiles/fitting_test.dir/fitting_test.cc.o.d"
+  "fitting_test"
+  "fitting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fitting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loaded_runtime_test.dir/loaded_runtime_test.cc.o"
+  "CMakeFiles/loaded_runtime_test.dir/loaded_runtime_test.cc.o.d"
+  "loaded_runtime_test"
+  "loaded_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loaded_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_util_test.dir/math_util_test.cc.o"
+  "CMakeFiles/math_util_test.dir/math_util_test.cc.o.d"
+  "math_util_test"
+  "math_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

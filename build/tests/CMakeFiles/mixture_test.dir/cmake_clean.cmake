@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixture_test.dir/mixture_test.cc.o"
+  "CMakeFiles/mixture_test.dir/mixture_test.cc.o.d"
+  "mixture_test"
+  "mixture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_learner_test.dir/online_learner_test.cc.o"
+  "CMakeFiles/online_learner_test.dir/online_learner_test.cc.o.d"
+  "online_learner_test"
+  "online_learner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

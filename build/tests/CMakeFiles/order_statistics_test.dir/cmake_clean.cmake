@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_statistics_test.dir/order_statistics_test.cc.o"
+  "CMakeFiles/order_statistics_test.dir/order_statistics_test.cc.o.d"
+  "order_statistics_test"
+  "order_statistics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_registry_test.dir/policy_registry_test.cc.o"
+  "CMakeFiles/policy_registry_test.dir/policy_registry_test.cc.o.d"
+  "policy_registry_test"
+  "policy_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_aggregator_test.dir/realtime_aggregator_test.cc.o"
+  "CMakeFiles/realtime_aggregator_test.dir/realtime_aggregator_test.cc.o.d"
+  "realtime_aggregator_test"
+  "realtime_aggregator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_aggregator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_set_test.dir/sample_set_test.cc.o"
+  "CMakeFiles/sample_set_test.dir/sample_set_test.cc.o.d"
+  "sample_set_test"
+  "sample_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_app_test.dir/search_app_test.cc.o"
+  "CMakeFiles/search_app_test.dir/search_app_test.cc.o.d"
+  "search_app_test"
+  "search_app_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

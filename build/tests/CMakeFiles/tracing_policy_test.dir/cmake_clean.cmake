@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracing_policy_test.dir/tracing_policy_test.cc.o"
+  "CMakeFiles/tracing_policy_test.dir/tracing_policy_test.cc.o.d"
+  "tracing_policy_test"
+  "tracing_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracing_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_simulation_test.dir/tree_simulation_test.cc.o"
+  "CMakeFiles/tree_simulation_test.dir/tree_simulation_test.cc.o.d"
+  "tree_simulation_test"
+  "tree_simulation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

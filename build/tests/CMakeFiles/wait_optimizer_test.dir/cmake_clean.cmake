@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wait_optimizer_test.dir/wait_optimizer_test.cc.o"
+  "CMakeFiles/wait_optimizer_test.dir/wait_optimizer_test.cc.o.d"
+  "wait_optimizer_test"
+  "wait_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

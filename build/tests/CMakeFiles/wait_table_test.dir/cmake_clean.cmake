@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wait_table_test.dir/wait_table_test.cc.o"
+  "CMakeFiles/wait_table_test.dir/wait_table_test.cc.o.d"
+  "wait_table_test"
+  "wait_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

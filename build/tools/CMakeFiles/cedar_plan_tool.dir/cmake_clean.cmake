@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_plan_tool.dir/cedar_plan.cc.o"
+  "CMakeFiles/cedar_plan_tool.dir/cedar_plan.cc.o.d"
+  "cedar_plan"
+  "cedar_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_plan_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

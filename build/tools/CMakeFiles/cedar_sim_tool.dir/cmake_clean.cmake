@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_sim_tool.dir/cedar_sim.cc.o"
+  "CMakeFiles/cedar_sim_tool.dir/cedar_sim.cc.o.d"
+  "cedar_sim"
+  "cedar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

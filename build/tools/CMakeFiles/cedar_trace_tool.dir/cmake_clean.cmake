@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_trace_tool.dir/cedar_trace.cc.o"
+  "CMakeFiles/cedar_trace_tool.dir/cedar_trace.cc.o.d"
+  "cedar_trace"
+  "cedar_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
