@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   int64_t* queries = flags.AddInt("queries", 300, "number of queries");
   double* deadline = flags.AddDouble("deadline", 1000.0, "deadline (seconds)");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  int64_t* threads = flags.AddInt(
+      "threads", 0, "experiment worker threads (0 = one per hardware thread)");
   flags.Parse(argc, argv);
 
   auto workload = MakeFacebookWorkload(50, 50);
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
   config.deadline = *deadline;
   config.num_queries = static_cast<int>(*queries);
   config.seed = static_cast<uint64_t>(*seed);
+  config.threads = static_cast<int>(*threads);
   ExperimentResult result = RunExperiment(workload, {&prop_split, &cedar}, config);
 
   auto improvements = result.PerQueryImprovementPercent("prop-split", "cedar", 0.05);

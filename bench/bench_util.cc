@@ -60,6 +60,7 @@ void RunDeadlineSweep(std::ostream& out, const std::string& title, const Workloa
     config.deadline = deadline;
     config.num_queries = options.num_queries;
     config.seed = options.seed;
+    config.threads = options.threads;
     config.sim = options.sim;
     ExperimentResult result = RunExperiment(workload, policies, config);
     table.AddRow(SweepRow(deadline, policies, baseline, [&](const std::string& name) {
@@ -89,6 +90,7 @@ void RunClusterDeadlineSweep(std::ostream& out, const std::string& title,
     config.deadline = deadline;
     config.num_queries = options.num_queries;
     config.seed = options.seed;
+    config.threads = options.threads;
     config.run = options.run;
     ClusterExperimentResult result = RunClusterExperiment(workload, policies, config);
     table.AddRow(SweepRow(deadline, policies, baseline, [&](const std::string& name) {
@@ -96,6 +98,20 @@ void RunClusterDeadlineSweep(std::ostream& out, const std::string& title,
     }));
   }
   table.Print(out);
+}
+
+void RunDeadlineSweep(std::ostream& out, const std::string& title, const Workload& workload,
+                      const std::vector<std::unique_ptr<WaitPolicy>>& policies,
+                      const std::vector<double>& deadlines, const SweepOptions& options) {
+  RunDeadlineSweep(out, title, workload, PolicyPointers(policies), deadlines, options);
+}
+
+void RunClusterDeadlineSweep(std::ostream& out, const std::string& title,
+                             const Workload& workload,
+                             const std::vector<std::unique_ptr<WaitPolicy>>& policies,
+                             const std::vector<double>& deadlines,
+                             const ClusterSweepOptions& options) {
+  RunClusterDeadlineSweep(out, title, workload, PolicyPointers(policies), deadlines, options);
 }
 
 }  // namespace cedar

@@ -7,6 +7,7 @@
 #define CEDAR_BENCH_BENCH_UTIL_H_
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,9 @@ namespace cedar {
 struct SweepOptions {
   int num_queries = 100;
   uint64_t seed = 42;
+  // Worker threads per experiment (<= 0: one per hardware thread). Results
+  // are thread-count independent; this only changes wall-clock time.
+  int threads = 0;
   // Name of the policy used as the improvement baseline ("" = first).
   std::string baseline;
   TreeSimulationOptions sim;
@@ -27,15 +31,28 @@ struct SweepOptions {
 
 // Runs |workload| under |policies| for every deadline and prints one row per
 // deadline: avg quality per policy plus percentage improvement of each
-// non-baseline policy over the baseline.
+// non-baseline policy over the baseline. Policies are borrowed, never owned
+// (same rule as RunExperiment).
 void RunDeadlineSweep(std::ostream& out, const std::string& title, const Workload& workload,
                       const std::vector<const WaitPolicy*>& policies,
                       const std::vector<double>& deadlines, const SweepOptions& options);
+void RunDeadlineSweep(std::ostream& out, const std::string& title, const Workload& workload,
+                      const std::vector<std::unique_ptr<WaitPolicy>>& policies,
+                      const std::vector<double>& deadlines, const SweepOptions& options);
+inline void RunDeadlineSweep(std::ostream& out, const std::string& title,
+                             const Workload& workload,
+                             std::initializer_list<const WaitPolicy*> policies,
+                             const std::vector<double>& deadlines, const SweepOptions& options) {
+  RunDeadlineSweep(out, title, workload, std::vector<const WaitPolicy*>(policies), deadlines,
+                   options);
+}
 
 struct ClusterSweepOptions {
   ClusterSpec cluster;
   int num_queries = 100;
   uint64_t seed = 42;
+  // Same contract as SweepOptions::threads.
+  int threads = 0;
   std::string baseline;
   ClusterRunOptions run;
 };
@@ -46,6 +63,19 @@ void RunClusterDeadlineSweep(std::ostream& out, const std::string& title,
                              const std::vector<const WaitPolicy*>& policies,
                              const std::vector<double>& deadlines,
                              const ClusterSweepOptions& options);
+void RunClusterDeadlineSweep(std::ostream& out, const std::string& title,
+                             const Workload& workload,
+                             const std::vector<std::unique_ptr<WaitPolicy>>& policies,
+                             const std::vector<double>& deadlines,
+                             const ClusterSweepOptions& options);
+inline void RunClusterDeadlineSweep(std::ostream& out, const std::string& title,
+                                    const Workload& workload,
+                                    std::initializer_list<const WaitPolicy*> policies,
+                                    const std::vector<double>& deadlines,
+                                    const ClusterSweepOptions& options) {
+  RunClusterDeadlineSweep(out, title, workload, std::vector<const WaitPolicy*>(policies),
+                          deadlines, options);
+}
 
 }  // namespace cedar
 

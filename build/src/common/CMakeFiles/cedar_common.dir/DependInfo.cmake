@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/math_util.cc" "src/common/CMakeFiles/cedar_common.dir/math_util.cc.o" "gcc" "src/common/CMakeFiles/cedar_common.dir/math_util.cc.o.d"
   "/root/repo/src/common/sample_set.cc" "src/common/CMakeFiles/cedar_common.dir/sample_set.cc.o" "gcc" "src/common/CMakeFiles/cedar_common.dir/sample_set.cc.o.d"
   "/root/repo/src/common/table.cc" "src/common/CMakeFiles/cedar_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/cedar_common.dir/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/cedar_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/cedar_common.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

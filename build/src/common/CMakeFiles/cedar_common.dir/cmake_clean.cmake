@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cedar_common.dir/sample_set.cc.o.d"
   "CMakeFiles/cedar_common.dir/table.cc.o"
   "CMakeFiles/cedar_common.dir/table.cc.o.d"
+  "CMakeFiles/cedar_common.dir/thread_pool.cc.o"
+  "CMakeFiles/cedar_common.dir/thread_pool.cc.o.d"
   "libcedar_common.a"
   "libcedar_common.pdb"
 )

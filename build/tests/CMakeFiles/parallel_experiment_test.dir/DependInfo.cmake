@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_experiment_test.cc" "tests/CMakeFiles/parallel_experiment_test.dir/parallel_experiment_test.cc.o" "gcc" "tests/CMakeFiles/parallel_experiment_test.dir/parallel_experiment_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/cedar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cedar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cedar_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cedar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cedar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cedar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cedar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

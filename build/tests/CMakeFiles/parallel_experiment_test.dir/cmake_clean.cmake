@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_experiment_test.dir/parallel_experiment_test.cc.o"
+  "CMakeFiles/parallel_experiment_test.dir/parallel_experiment_test.cc.o.d"
+  "parallel_experiment_test"
+  "parallel_experiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

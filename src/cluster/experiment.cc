@@ -1,25 +1,9 @@
 #include "src/cluster/experiment.h"
 
-#include <set>
-
 #include "src/common/logging.h"
+#include "src/sim/experiment_engine.h"
 
 namespace cedar {
-
-const PolicyOutcome& ClusterExperimentResult::Outcome(const std::string& policy_name) const {
-  for (const auto& outcome : outcomes) {
-    if (outcome.policy_name == policy_name) {
-      return outcome;
-    }
-  }
-  CEDAR_LOG(FATAL) << "no outcome for policy '" << policy_name << "'";
-  __builtin_unreachable();
-}
-
-double ClusterExperimentResult::ImprovementPercent(const std::string& baseline,
-                                                   const std::string& treatment) const {
-  return PercentImprovement(Outcome(baseline).MeanQuality(), Outcome(treatment).MeanQuality());
-}
 
 ClusterExperimentResult RunClusterExperiment(const Workload& workload,
                                              const std::vector<const WaitPolicy*>& policies,
@@ -30,27 +14,21 @@ ClusterExperimentResult RunClusterExperiment(const Workload& workload,
 
   ClusterExperimentResult result;
   result.outcomes.resize(policies.size());
-  {
-    std::set<std::string> names;
-    for (size_t p = 0; p < policies.size(); ++p) {
-      result.outcomes[p].policy_name = policies[p]->name();
-      CEDAR_CHECK(names.insert(policies[p]->name()).second)
-          << "duplicate policy name '" << policies[p]->name() << "'";
-    }
-  }
+  AssignOutcomeNames(policies, result.outcomes);
 
   TreeSpec offline_tree = workload.OfflineTree();
   ClusterRuntime runtime(config.cluster, offline_tree, config.deadline, config.run);
 
-  Rng rng(config.seed);
-  uint64_t next_sequence = (config.seed << 20) + 1;
+  std::vector<ClusterQueryResult> grid = RunExperimentGrid<ClusterQueryResult>(
+      workload, offline_tree, policies, config,
+      [&runtime](const WaitPolicy& policy, const QueryRealization& realization) {
+        return runtime.RunQuery(policy, realization);
+      });
+
+  const size_t num_policies = policies.size();
   for (int q = 0; q < config.num_queries; ++q) {
-    QueryTruth truth = workload.DrawQuery(rng);
-    truth.sequence = next_sequence++;
-    Rng realization_rng = rng.Fork();
-    QueryRealization realization = SampleRealization(offline_tree, truth, realization_rng);
-    for (size_t p = 0; p < policies.size(); ++p) {
-      ClusterQueryResult query_result = runtime.RunQuery(*policies[p], realization);
+    for (size_t p = 0; p < num_policies; ++p) {
+      const ClusterQueryResult& query_result = grid[static_cast<size_t>(q) * num_policies + p];
       result.outcomes[p].quality.Add(query_result.quality);
       result.outcomes[p].root_arrivals_late += query_result.root_arrivals_late;
       result.total_clones_launched += query_result.clones_launched;
@@ -59,6 +37,12 @@ ClusterExperimentResult RunClusterExperiment(const Workload& workload,
     }
   }
   return result;
+}
+
+ClusterExperimentResult RunClusterExperiment(
+    const Workload& workload, const std::vector<std::unique_ptr<WaitPolicy>>& policies,
+    const ClusterExperimentConfig& config) {
+  return RunClusterExperiment(workload, PolicyPointers(policies), config);
 }
 
 }  // namespace cedar

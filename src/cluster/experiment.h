@@ -1,10 +1,12 @@
 // Cluster-engine experiment runner: the deployment-side counterpart of
 // src/sim/experiment.h. Replays workload queries through the slot-scheduled
-// ClusterRuntime under several policies on identical realizations.
+// ClusterRuntime under several policies on identical realizations, sharded
+// across the same parallel engine as the analytic driver.
 
 #ifndef CEDAR_SRC_CLUSTER_EXPERIMENT_H_
 #define CEDAR_SRC_CLUSTER_EXPERIMENT_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/cluster/cluster_runtime.h"
@@ -13,29 +15,37 @@
 
 namespace cedar {
 
-struct ClusterExperimentConfig {
+struct ClusterExperimentConfig : ExperimentDriverConfig {
   ClusterSpec cluster;
-  double deadline = 0.0;
-  int num_queries = 100;
-  uint64_t seed = 42;
   ClusterRunOptions run;
 };
 
-struct ClusterExperimentResult {
-  std::vector<PolicyOutcome> outcomes;
+// Shares Outcome() / ImprovementPercent() / PerQueryImprovementPercent()
+// with the analytic driver's result via the ExperimentResult base.
+struct ClusterExperimentResult : ExperimentResult {
   // Engine aggregates over all queries of the last policy run (identical
   // scheduling across policies except timer-driven aggregation).
   long long total_clones_launched = 0;
   long long total_clones_won = 0;
   int waves = 0;
-
-  const PolicyOutcome& Outcome(const std::string& policy_name) const;
-  double ImprovementPercent(const std::string& baseline, const std::string& treatment) const;
 };
 
+// Same contract as RunExperiment (see there for the ownership rule): the
+// prototypes are only read during the call; workers fork detached replicas.
 ClusterExperimentResult RunClusterExperiment(const Workload& workload,
                                              const std::vector<const WaitPolicy*>& policies,
                                              const ClusterExperimentConfig& config);
+
+ClusterExperimentResult RunClusterExperiment(
+    const Workload& workload, const std::vector<std::unique_ptr<WaitPolicy>>& policies,
+    const ClusterExperimentConfig& config);
+
+// Exact match for brace-list call sites (see RunExperiment).
+inline ClusterExperimentResult RunClusterExperiment(
+    const Workload& workload, std::initializer_list<const WaitPolicy*> policies,
+    const ClusterExperimentConfig& config) {
+  return RunClusterExperiment(workload, std::vector<const WaitPolicy*>(policies), config);
+}
 
 }  // namespace cedar
 

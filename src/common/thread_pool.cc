@@ -1,0 +1,145 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cedar {
+
+ThreadPool::ThreadPool(int num_threads) {
+  CEDAR_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  CEDAR_CHECK(task != nullptr);
+  size_t target;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    CEDAR_CHECK(!stopping_) << "Submit after shutdown began";
+    target = next_submit_;
+    next_submit_ = (next_submit_ + 1) % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  // The task must be findable in a deque *before* pending_ rises: a worker
+  // whose wait predicate sees pending_ > 0 will go looking for it.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++outstanding_;
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+std::function<void()> ThreadPool::TakeTask(size_t worker_index) {
+  // Own deque first: LIFO for locality.
+  {
+    Worker& self = *workers_[worker_index];
+    std::lock_guard<std::mutex> lock(self.mutex);
+    if (!self.tasks.empty()) {
+      auto task = std::move(self.tasks.back());
+      self.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  // Steal the oldest task of the first non-empty victim, scanning from the
+  // next worker so contention spreads.
+  for (size_t step = 1; step < workers_.size(); ++step) {
+    Worker& victim = *workers_[(worker_index + step) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      auto task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  for (;;) {
+    std::function<void()> task = TakeTask(worker_index);
+    if (task == nullptr) {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      // No lost wakeups: any submitted-but-untaken task keeps pending_ > 0,
+      // and pending_ only rises under state_mutex_, so a worker cannot slip
+      // into wait() between the push and the notify without seeing it.
+      work_cv_.wait(lock, [this] {
+        return stopping_ || pending_.load(std::memory_order_relaxed) > 0;
+      });
+      if (stopping_) {
+        return;
+      }
+      continue;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      --outstanding_;
+      if (outstanding_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+int ResolveThreadCount(int requested) {
+  return requested >= 1 ? requested : ThreadPool::HardwareThreads();
+}
+
+void ParallelForChunks(ThreadPool& pool, long long total, int chunks,
+                       const std::function<void(long long, long long, int)>& body) {
+  CEDAR_CHECK_GE(total, 0);
+  CEDAR_CHECK_GE(chunks, 1);
+  if (total == 0) {
+    return;
+  }
+  long long n_chunks = std::min<long long>(chunks, total);
+  long long base = total / n_chunks;
+  long long remainder = total % n_chunks;
+  long long begin = 0;
+  for (long long c = 0; c < n_chunks; ++c) {
+    long long size = base + (c < remainder ? 1 : 0);
+    long long end = begin + size;
+    pool.Submit([&body, begin, end, c] { body(begin, end, static_cast<int>(c)); });
+    begin = end;
+  }
+  pool.Wait();
+}
+
+}  // namespace cedar

@@ -1,0 +1,93 @@
+// A small work-stealing thread pool: the concurrency substrate for the
+// parallel experiment engine (src/sim/experiment_engine.h) and any future
+// sharded workload / async runtime work.
+//
+// Each worker owns a deque of tasks; it pops from the back of its own deque
+// (LIFO, cache-friendly) and steals from the front of a victim's deque
+// (FIFO, takes the oldest — largest — pieces of work). Submission is
+// round-robin across workers so a burst of tasks spreads without a single
+// hot queue. The pool is intentionally simple — mutex-per-deque, no lock-free
+// cleverness — because experiment tasks are milliseconds long and the pool
+// must stay obviously correct under ThreadSanitizer.
+//
+// Determinism contract: the pool never introduces randomness. Any caller
+// that wants thread-count-independent results must make its tasks
+// independent (per-task seeding, disjoint output slots); see
+// experiment_engine.h for the scheme the drivers use.
+
+#ifndef CEDAR_SRC_COMMON_THREAD_POOL_H_
+#define CEDAR_SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cedar {
+
+class ThreadPool {
+ public:
+  // Spawns |num_threads| workers (must be >= 1).
+  explicit ThreadPool(int num_threads);
+
+  // Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues |task| for execution on some worker. Thread-safe; tasks may
+  // themselves Submit follow-up work.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far (including tasks spawned by
+  // tasks) has finished. The pool is reusable afterwards.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // std::thread::hardware_concurrency() clamped to >= 1.
+  static int HardwareThreads();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker_index);
+
+  // Pops from the back of worker |i|'s own deque, or steals from the front
+  // of another worker's. Returns an empty function when everything is idle.
+  std::function<void()> TakeTask(size_t worker_index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_cv_;  // signalled on Submit and shutdown
+  std::condition_variable idle_cv_;  // signalled when outstanding_ hits 0
+  size_t next_submit_ = 0;           // round-robin cursor (under state_mutex_)
+  long long outstanding_ = 0;        // submitted but not yet finished
+  std::atomic<long long> pending_{0};  // submitted but not yet taken
+  bool stopping_ = false;
+};
+
+// Resolves a thread-count request: n >= 1 means exactly n workers; n <= 0
+// means "one per hardware thread". Shared by every --threads style flag.
+int ResolveThreadCount(int requested);
+
+// Splits [0, |total|) into |chunks| near-equal contiguous ranges and runs
+// body(begin, end, chunk_index) for each across |pool|. Blocks until every
+// chunk is done. Chunks are independent; the caller must make their side
+// effects disjoint.
+void ParallelForChunks(ThreadPool& pool, long long total, int chunks,
+                       const std::function<void(long long, long long, int)>& body);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_COMMON_THREAD_POOL_H_

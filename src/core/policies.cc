@@ -113,20 +113,46 @@ std::unique_ptr<WaitPolicy> CedarPolicy::Clone() const {
   return clone;
 }
 
+std::unique_ptr<WaitPolicy> CedarPolicy::ForkForWorker() const {
+  // The constructor allocates a fresh TableCache, so the fork shares nothing
+  // mutable with this instance.
+  return std::make_unique<CedarPolicy>(options_);
+}
+
 const WaitTable& CedarPolicy::TableFor(const AggregatorContext& ctx) {
   std::lock_guard<std::mutex> lock(table_cache_->mutex);
+  TableCache& cache = *table_cache_;
   double remaining = std::max(0.0, ctx.deadline - ctx.start_offset);
-  if (table_cache_->curve_key != ctx.upper_quality || table_cache_->deadline != remaining) {
-    table_cache_->table = std::make_unique<WaitTable>(options_.table_spec, ctx.fanout,
-                                                      *ctx.upper_quality, remaining, ctx.epsilon);
-    table_cache_->curve_key = ctx.upper_quality;
-    table_cache_->deadline = remaining;
+  bool key_match = cache.table != nullptr && cache.curve_key == ctx.upper_quality &&
+                   cache.deadline == remaining;
+  if (key_match) {
+    // Same query as the last validation: the curve behind the pointer is
+    // still alive, the table is trusted. Across queries a recycled
+    // allocation can alias the old address, so re-validate by content (one
+    // vector compare per query; a hit is the stationary-upper-curve case).
+    bool same_query = query_sequence_ != 0 && cache.sequence == query_sequence_;
+    if (same_query ||
+        (cache.curve_min_x == ctx.upper_quality->min_x() &&
+         cache.curve_max_x == ctx.upper_quality->max_x() &&
+         cache.curve_ys == ctx.upper_quality->ys())) {
+      cache.sequence = query_sequence_;
+      return *cache.table;
+    }
   }
-  return *table_cache_->table;
+  cache.table = std::make_unique<WaitTable>(options_.table_spec, ctx.fanout,
+                                            *ctx.upper_quality, remaining, ctx.epsilon);
+  cache.curve_key = ctx.upper_quality;
+  cache.deadline = remaining;
+  cache.curve_ys = ctx.upper_quality->ys();
+  cache.curve_min_x = ctx.upper_quality->min_x();
+  cache.curve_max_x = ctx.upper_quality->max_x();
+  cache.sequence = query_sequence_;
+  return *cache.table;
 }
 
 void CedarPolicy::BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) {
   WaitPolicy::BeginQuery(ctx, truth);
+  query_sequence_ = truth != nullptr ? truth->sequence : 0;
   arrivals_since_reopt_ = 0;
   if (LearnsAt(ctx.tier)) {
     // Small fanouts cannot supply the default number of warm-up samples;
@@ -189,6 +215,10 @@ std::unique_ptr<WaitPolicy> OraclePolicy::Clone() const {
   auto clone = std::make_unique<OraclePolicy>();
   clone->cache_ = cache_;  // share the per-query plan across all nodes
   return clone;
+}
+
+std::unique_ptr<WaitPolicy> OraclePolicy::ForkForWorker() const {
+  return std::make_unique<OraclePolicy>();  // fresh plan cache
 }
 
 void OraclePolicy::BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) {

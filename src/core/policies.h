@@ -109,6 +109,10 @@ class CedarPolicy final : public WaitPolicy {
     return options_.learner.use_empirical_estimates ? "cedar-empirical" : "cedar";
   }
   std::unique_ptr<WaitPolicy> Clone() const override;
+  // A worker fork gets its own wait-table cache: the cached table references
+  // the upper-quality curve of the query currently in flight, which differs
+  // across concurrently running queries.
+  std::unique_ptr<WaitPolicy> ForkForWorker() const override;
   void BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) override;
 
   // Exposes the learner's current fit (tests and diagnostics).
@@ -125,14 +129,20 @@ class CedarPolicy final : public WaitPolicy {
   }
 
   // Shared across clones: the precomputed wait table for the current upper
-  // curve (rebuilt when the curve or deadline changes). The returned table
-  // reference stays valid while the upper curve it was built for is the one
-  // in use — i.e. within one query pipeline; concurrent queries with
-  // *different* curves must not share a prototype.
+  // curve. The cache remembers which query it was last validated for; when a
+  // new query shows up it re-validates by curve *content*, never by address
+  // alone — per-query curve stacks are freed between queries, so a recycled
+  // allocation can otherwise alias a stale table. Worker threads never share
+  // a cache (ForkForWorker() detaches it); the mutex covers the
+  // one-prototype-many-node-clones sharing within a query.
   struct TableCache {
     std::mutex mutex;
+    uint64_t sequence = 0;           // query last validated for (0 = none)
     const void* curve_key = nullptr;
     double deadline = 0.0;
+    std::vector<double> curve_ys;    // content fingerprint of the curve
+    double curve_min_x = 0.0;
+    double curve_max_x = 0.0;
     std::unique_ptr<WaitTable> table;
   };
 
@@ -141,6 +151,7 @@ class CedarPolicy final : public WaitPolicy {
   CedarPolicyOptions options_;
   std::unique_ptr<OnlineLearner> learner_;
   std::shared_ptr<TableCache> table_cache_;
+  uint64_t query_sequence_ = 0;
   int effective_min_samples_ = 2;
   int arrivals_since_reopt_ = 0;
 };
@@ -154,6 +165,9 @@ class OraclePolicy final : public WaitPolicy {
 
   std::string name() const override { return "ideal"; }
   std::unique_ptr<WaitPolicy> Clone() const override;
+  // A worker fork gets its own plan cache: the cache is keyed by the query
+  // sequence in flight, which differs across concurrent workers.
+  std::unique_ptr<WaitPolicy> ForkForWorker() const override;
   void BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) override;
 
  protected:

@@ -66,6 +66,14 @@ class WaitPolicy {
 
   virtual std::unique_ptr<WaitPolicy> Clone() const = 0;
 
+  // Creates an independent replica for a concurrent experiment shard. Unlike
+  // Clone() — whose instances may *share* mutable per-query caches so that
+  // all aggregator nodes of one query reuse one plan — a forked replica must
+  // share no mutable state with the source, so two worker threads can run
+  // different queries through their forks without synchronizing. Policies
+  // whose clones are already state-free inherit this default.
+  virtual std::unique_ptr<WaitPolicy> ForkForWorker() const { return Clone(); }
+
   // Called once per query before any arrival. |truth| carries the current
   // query's true distributions and is null unless the experiment grants the
   // policy oracle knowledge.

@@ -57,6 +57,10 @@ std::unique_ptr<WaitPolicy> TracingPolicy::Clone() const {
   return std::make_unique<TracingPolicy>(inner_->Clone(), recorder_);
 }
 
+std::unique_ptr<WaitPolicy> TracingPolicy::ForkForWorker() const {
+  return std::make_unique<TracingPolicy>(inner_->ForkForWorker(), recorder_);
+}
+
 void TracingPolicy::BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) {
   WaitPolicy::BeginQuery(ctx, truth);
   inner_->BeginQuery(ctx, truth);

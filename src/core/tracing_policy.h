@@ -58,6 +58,10 @@ class TracingPolicy final : public WaitPolicy {
 
   std::string name() const override { return inner_->name(); }
   std::unique_ptr<WaitPolicy> Clone() const override;
+  // Forks the inner policy detached but keeps the (thread-safe) recorder, so
+  // a whole parallel experiment still lands in one trace. Record order across
+  // queries then follows scheduling; group with DecisionRecorder::ForQuery.
+  std::unique_ptr<WaitPolicy> ForkForWorker() const override;
   void BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) override;
 
  protected:

@@ -1,8 +1,7 @@
 #include "src/sim/experiment.h"
 
-#include <set>
-
 #include "src/common/logging.h"
+#include "src/sim/experiment_engine.h"
 #include "src/sim/realization.h"
 
 namespace cedar {
@@ -44,6 +43,16 @@ double PercentImprovement(double baseline, double treatment) {
   return 100.0 * (treatment - baseline) / baseline;
 }
 
+std::vector<const WaitPolicy*> PolicyPointers(
+    const std::vector<std::unique_ptr<WaitPolicy>>& policies) {
+  std::vector<const WaitPolicy*> pointers;
+  pointers.reserve(policies.size());
+  for (const auto& policy : policies) {
+    pointers.push_back(policy.get());
+  }
+  return pointers;
+}
+
 ExperimentResult RunExperiment(const Workload& workload,
                                const std::vector<const WaitPolicy*>& policies,
                                const ExperimentConfig& config) {
@@ -53,33 +62,35 @@ ExperimentResult RunExperiment(const Workload& workload,
 
   ExperimentResult result;
   result.outcomes.resize(policies.size());
-  {
-    std::set<std::string> names;
-    for (size_t p = 0; p < policies.size(); ++p) {
-      result.outcomes[p].policy_name = policies[p]->name();
-      CEDAR_CHECK(names.insert(policies[p]->name()).second)
-          << "duplicate policy name '" << policies[p]->name() << "' in experiment";
-    }
-  }
+  AssignOutcomeNames(policies, result.outcomes);
 
   TreeSpec offline_tree = workload.OfflineTree();
   TreeSimulation simulation(offline_tree, config.deadline, config.sim);
 
-  Rng rng(config.seed);
-  uint64_t next_sequence = (config.seed << 20) + 1;
+  std::vector<QueryResult> grid = RunExperimentGrid<QueryResult>(
+      workload, offline_tree, policies, config,
+      [&simulation](const WaitPolicy& policy, const QueryRealization& realization) {
+        return simulation.RunQuery(policy, realization);
+      });
+
+  // Merge in query order: paired samples stay aligned and the accumulation
+  // order is fixed, independent of which worker ran which query.
+  const size_t num_policies = policies.size();
   for (int q = 0; q < config.num_queries; ++q) {
-    QueryTruth truth = workload.DrawQuery(rng);
-    truth.sequence = next_sequence++;
-    Rng realization_rng = rng.Fork();
-    QueryRealization realization = SampleRealization(offline_tree, truth, realization_rng);
-    for (size_t p = 0; p < policies.size(); ++p) {
-      QueryResult query_result = simulation.RunQuery(*policies[p], realization);
+    for (size_t p = 0; p < num_policies; ++p) {
+      const QueryResult& query_result = grid[static_cast<size_t>(q) * num_policies + p];
       result.outcomes[p].quality.Add(query_result.quality);
       result.outcomes[p].tier0_send_time.Add(query_result.mean_tier0_send_time);
       result.outcomes[p].root_arrivals_late += query_result.root_arrivals_late;
     }
   }
   return result;
+}
+
+ExperimentResult RunExperiment(const Workload& workload,
+                               const std::vector<std::unique_ptr<WaitPolicy>>& policies,
+                               const ExperimentConfig& config) {
+  return RunExperiment(workload, PolicyPointers(policies), config);
 }
 
 }  // namespace cedar

@@ -1,6 +1,10 @@
 // Experiment runner: replays a set of queries drawn from a workload under
 // several competing policies, on identical realizations, and collects
 // per-query qualities. Every figure harness is a thin loop over this.
+//
+// Queries are sharded across a work-stealing thread pool with per-query
+// deterministic seeding (see experiment_engine.h), so results are
+// bit-identical for any thread count.
 
 #ifndef CEDAR_SRC_SIM_EXPERIMENT_H_
 #define CEDAR_SRC_SIM_EXPERIMENT_H_
@@ -16,16 +20,27 @@
 
 namespace cedar {
 
-struct ExperimentConfig {
+// Knobs shared by every experiment driver (analytic simulator, cluster
+// engine): the concrete configs below and ClusterExperimentConfig extend it
+// with engine-specific options.
+struct ExperimentDriverConfig {
   double deadline = 0.0;
   int num_queries = 100;
   uint64_t seed = 42;
+  // Worker threads for the parallel engine: n >= 1 runs exactly n workers,
+  // <= 0 means one per hardware thread. Results are identical either way.
+  int threads = 0;
+};
+
+struct ExperimentConfig : ExperimentDriverConfig {
   TreeSimulationOptions sim;
 };
 
 struct PolicyOutcome {
   std::string policy_name;
-  // One entry per query, same order for every policy (paired samples).
+  // One entry per query, same order for every policy (paired samples). The
+  // parallel engine merges per-worker shards back in query order, so entry i
+  // is query i for every policy and every thread count.
   SampleSet quality;
   SampleSet tier0_send_time;
   long long root_arrivals_late = 0;
@@ -33,6 +48,8 @@ struct PolicyOutcome {
   double MeanQuality() const { return quality.empty() ? 0.0 : quality.Mean(); }
 };
 
+// Result shared by every driver; engine-specific results (see
+// ClusterExperimentResult) extend it with their own aggregates.
 struct ExperimentResult {
   std::vector<PolicyOutcome> outcomes;
 
@@ -53,12 +70,36 @@ struct ExperimentResult {
 // Runs |config.num_queries| queries of |workload| under every prototype in
 // |policies| (all policies see identical realizations). Policies are
 // identified by WaitPolicy::name(); names must be unique within the run.
+//
+// Ownership rule (both overloads): the driver only *reads* the prototypes
+// for the duration of the call — each worker forks detached replicas via
+// WaitPolicy::ForkForWorker() — so the caller keeps ownership and may reuse
+// or destroy them afterwards.
 ExperimentResult RunExperiment(const Workload& workload,
                                const std::vector<const WaitPolicy*>& policies,
                                const ExperimentConfig& config);
 
+// Convenience overload for callers that hold owning prototypes (e.g. from
+// MakePolicyList); equivalent to passing the raw pointers.
+ExperimentResult RunExperiment(const Workload& workload,
+                               const std::vector<std::unique_ptr<WaitPolicy>>& policies,
+                               const ExperimentConfig& config);
+
+// Exact match for brace-list call sites ({&baseline, &cedar}), which would
+// otherwise be ambiguous between the two vector overloads.
+inline ExperimentResult RunExperiment(const Workload& workload,
+                                      std::initializer_list<const WaitPolicy*> policies,
+                                      const ExperimentConfig& config) {
+  return RunExperiment(workload, std::vector<const WaitPolicy*>(policies), config);
+}
+
 // Convenience percentage helper used across benches.
 double PercentImprovement(double baseline, double treatment);
+
+// Borrows the raw prototype pointers from an owning policy list (shared by
+// the unique_ptr driver overloads and the CLI tools).
+std::vector<const WaitPolicy*> PolicyPointers(
+    const std::vector<std::unique_ptr<WaitPolicy>>& policies);
 
 }  // namespace cedar
 

@@ -32,6 +32,17 @@ class Workload {
 
   // Draws one query's true stage distributions.
   virtual QueryTruth DrawQuery(Rng& rng) const = 0;
+
+  // Draws the true stage distributions of query |index|. Stochastic
+  // workloads ignore the index (queries are exchangeable, so the default
+  // delegates to DrawQuery); workloads that replay a recorded trace override
+  // it to serve query |index| statelessly. The parallel experiment engine
+  // always enters through here, which is what makes draws independent of
+  // worker scheduling order.
+  virtual QueryTruth DrawQueryAt(uint64_t index, Rng& rng) const {
+    (void)index;
+    return DrawQuery(rng);
+  }
 };
 
 // A trivial workload where every query is exactly the offline tree (no

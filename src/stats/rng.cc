@@ -87,4 +87,13 @@ double Rng::NextGaussian() {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ull); }
 
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
+  // First round mixes the root seed, second round folds the stream id in;
+  // the Rng constructor adds a further SplitMix64 expansion on top.
+  uint64_t state = seed;
+  uint64_t mixed = SplitMix64(state);
+  state = mixed ^ (stream + 0xD1B54A32D192ED03ull);
+  return SplitMix64(state);
+}
+
 }  // namespace cedar

@@ -43,6 +43,13 @@ class Rng {
   bool has_spare_gaussian_ = false;
 };
 
+// Deterministically derives the seed of substream |stream| of |seed| via two
+// SplitMix64 rounds. Unlike Rng::Fork(), this never touches shared generator
+// state, so callers can seed stream k without materializing streams 0..k-1 —
+// the property the parallel experiment engine relies on to make per-query
+// randomness independent of thread count and execution order.
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream);
+
 }  // namespace cedar
 
 #endif  // CEDAR_SRC_STATS_RNG_H_

@@ -179,9 +179,14 @@ ReplayWorkload::ReplayWorkload(QueryTrace trace) : trace_(std::move(trace)) {
 TreeSpec ReplayWorkload::OfflineTree() const { return offline_tree_; }
 
 QueryTruth ReplayWorkload::DrawQuery(Rng& rng) const {
-  (void)rng;
-  const QueryRecord& record = trace_.queries[next_query_];
+  QueryTruth truth = DrawQueryAt(next_query_, rng);
   next_query_ = (next_query_ + 1) % trace_.queries.size();
+  return truth;
+}
+
+QueryTruth ReplayWorkload::DrawQueryAt(uint64_t index, Rng& rng) const {
+  (void)rng;
+  const QueryRecord& record = trace_.queries[index % trace_.queries.size()];
   QueryTruth truth;
   for (const auto& spec : record.stages) {
     truth.stage_durations.push_back(std::shared_ptr<const Distribution>(MakeDistribution(spec)));

@@ -47,7 +47,10 @@ class ReplayWorkload final : public Workload {
   std::string name() const override { return trace_.name + "+replay"; }
   std::string time_unit() const override { return trace_.unit; }
   TreeSpec OfflineTree() const override;
+  // Serial convenience entry point: advances an internal cursor (not
+  // thread-safe). Parallel drivers use DrawQueryAt, which is stateless.
   QueryTruth DrawQuery(Rng& rng) const override;
+  QueryTruth DrawQueryAt(uint64_t index, Rng& rng) const override;
 
   const QueryTrace& trace() const { return trace_; }
 

@@ -1,0 +1,179 @@
+// Concurrency contract of the parallel experiment engine: results are
+// bit-identical for every thread count, paired samples stay aligned across
+// policies, and driver-assigned query sequence ids are monotone and never 0.
+// These tests carry the tier1_tsan CTest label and are meant to also run
+// under -DCEDAR_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/cluster/experiment.h"
+#include "src/core/policies.h"
+#include "src/core/policy_registry.h"
+#include "src/core/tracing_policy.h"
+#include "src/sim/experiment.h"
+#include "src/sim/experiment_engine.h"
+#include "src/trace/workloads.h"
+
+namespace cedar {
+namespace {
+
+ExperimentConfig SimConfig(int threads, int queries = 24, double deadline = 800.0) {
+  ExperimentConfig config;
+  config.deadline = deadline;
+  config.num_queries = queries;
+  config.seed = 7;
+  config.threads = threads;
+  return config;
+}
+
+// Exact (bitwise) equality of two per-query sample vectors.
+void ExpectSameSamples(const SampleSet& a, const SampleSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.values()[i], b.values()[i]) << "query " << i;
+  }
+}
+
+TEST(ParallelExperimentTest, SimResultsIdenticalForAnyThreadCount) {
+  auto workload = MakeFacebookWorkload(8, 8);
+  ProportionalSplitPolicy baseline;
+  CedarPolicy cedar;    // online learner state per node
+  OraclePolicy ideal;   // shared per-query plan cache
+  std::vector<const WaitPolicy*> policies = {&baseline, &cedar, &ideal};
+
+  ExperimentResult serial = RunExperiment(workload, policies, SimConfig(1));
+  for (int threads : {2, 8}) {
+    ExperimentResult parallel = RunExperiment(workload, policies, SimConfig(threads));
+    ASSERT_EQ(parallel.outcomes.size(), serial.outcomes.size());
+    for (size_t p = 0; p < serial.outcomes.size(); ++p) {
+      EXPECT_EQ(parallel.outcomes[p].policy_name, serial.outcomes[p].policy_name);
+      ExpectSameSamples(parallel.outcomes[p].quality, serial.outcomes[p].quality);
+      ExpectSameSamples(parallel.outcomes[p].tier0_send_time,
+                        serial.outcomes[p].tier0_send_time);
+      EXPECT_EQ(parallel.outcomes[p].root_arrivals_late,
+                serial.outcomes[p].root_arrivals_late);
+    }
+    EXPECT_EQ(parallel.ImprovementPercent("prop-split", "cedar"),
+              serial.ImprovementPercent("prop-split", "cedar"));
+    EXPECT_EQ(parallel.ImprovementPercent("prop-split", "ideal"),
+              serial.ImprovementPercent("prop-split", "ideal"));
+  }
+}
+
+TEST(ParallelExperimentTest, WaitTableCacheIsDetachedAcrossWorkers) {
+  // use_wait_table shares a mutable table cache across Clone()s; worker
+  // forks must detach it. Identical results at 1 and 8 threads prove the
+  // detached caches change nothing but wall-clock.
+  auto workload = MakeFacebookWorkload(8, 8);
+  CedarPolicyOptions options;
+  options.use_wait_table = true;
+  CedarPolicy cedar(options);
+  std::vector<const WaitPolicy*> policies = {&cedar};
+
+  ExperimentResult serial = RunExperiment(workload, policies, SimConfig(1));
+  ExperimentResult parallel = RunExperiment(workload, policies, SimConfig(8));
+  ExpectSameSamples(parallel.Outcome("cedar").quality, serial.Outcome("cedar").quality);
+}
+
+TEST(ParallelExperimentTest, ClusterResultsIdenticalForAnyThreadCount) {
+  auto workload = MakeFacebookWorkload(6, 6);
+  ProportionalSplitPolicy baseline;
+  CedarPolicy cedar;
+  std::vector<const WaitPolicy*> policies = {&baseline, &cedar};
+
+  ClusterExperimentConfig config;
+  config.cluster.machines = 12;
+  config.cluster.slots_per_machine = 3;
+  config.cluster.slow_machine_fraction = 0.25;
+  config.cluster.slow_machine_factor = 2.0;
+  config.deadline = 800.0;
+  config.num_queries = 16;
+  config.seed = 11;
+  config.run.speculation.enabled = true;  // exercises runtime-internal RNG
+
+  config.threads = 1;
+  ClusterExperimentResult serial = RunClusterExperiment(workload, policies, config);
+  for (int threads : {2, 8}) {
+    config.threads = threads;
+    ClusterExperimentResult parallel = RunClusterExperiment(workload, policies, config);
+    for (size_t p = 0; p < serial.outcomes.size(); ++p) {
+      ExpectSameSamples(parallel.outcomes[p].quality, serial.outcomes[p].quality);
+    }
+    EXPECT_EQ(parallel.total_clones_launched, serial.total_clones_launched);
+    EXPECT_EQ(parallel.total_clones_won, serial.total_clones_won);
+    EXPECT_EQ(parallel.waves, serial.waves);
+    EXPECT_EQ(parallel.ImprovementPercent("prop-split", "cedar"),
+              serial.ImprovementPercent("prop-split", "cedar"));
+  }
+}
+
+TEST(ParallelExperimentTest, PairedSamplesStayAlignedAcrossPolicies) {
+  // Every outcome must hold one sample per query in query order: a policy's
+  // per-query quality is identical whether it runs alone or alongside
+  // others, at any thread count.
+  auto workload = MakeFacebookWorkload(8, 8);
+  FixedWaitPolicy fixed(300.0);
+  CedarPolicy cedar;
+  OraclePolicy ideal;
+
+  ExperimentResult together =
+      RunExperiment(workload, {&fixed, &cedar, &ideal}, SimConfig(8));
+  ExperimentResult alone = RunExperiment(workload, {&fixed}, SimConfig(8));
+  for (const auto& outcome : together.outcomes) {
+    EXPECT_EQ(outcome.quality.size(), 24u);
+  }
+  ExpectSameSamples(together.Outcome("fixed").quality, alone.Outcome("fixed").quality);
+}
+
+TEST(ParallelExperimentTest, SequenceIdsAreMonotoneAndNeverZero) {
+  // The driver must stamp every query with a non-zero sequence id that is
+  // monotone in the query index (OraclePolicy's plan cache treats 0 as
+  // "unknown" and would silently recompute every time).
+  auto workload = MakeFacebookWorkload(6, 6);
+  DecisionRecorder recorder;
+  TracingPolicy traced(MakePolicyByName("prop-split"), &recorder);
+
+  ExperimentConfig config = SimConfig(8, 20);
+  RunExperiment(workload, {&traced}, config);
+
+  std::set<uint64_t> sequences;
+  for (const auto& record : recorder.Snapshot()) {
+    EXPECT_NE(record.query_sequence, 0u);
+    sequences.insert(record.query_sequence);
+  }
+  ASSERT_EQ(sequences.size(), 20u) << "one distinct sequence per query";
+  // DriverQuerySequence(seed, q) for q in [0, 20): contiguous and ordered.
+  uint64_t expected = DriverQuerySequence(config.seed, 0);
+  for (uint64_t sequence : sequences) {  // std::set iterates in order
+    EXPECT_EQ(sequence, expected);
+    ++expected;
+  }
+}
+
+TEST(ParallelExperimentTest, OwningOverloadMatchesRawPointerOverload) {
+  auto workload = MakeFacebookWorkload(6, 6);
+  auto owned = MakePolicyList("prop-split,cedar");
+  ExperimentResult from_owned = RunExperiment(workload, owned, SimConfig(4, 12));
+  ExperimentResult from_raw = RunExperiment(workload, PolicyPointers(owned), SimConfig(4, 12));
+  for (size_t p = 0; p < from_owned.outcomes.size(); ++p) {
+    ExpectSameSamples(from_owned.outcomes[p].quality, from_raw.outcomes[p].quality);
+  }
+  // Prototypes are borrowed, not consumed: still usable afterwards.
+  EXPECT_EQ(owned.front()->name(), "prop-split");
+}
+
+TEST(ParallelExperimentTest, ThreadCountCappedByQueries) {
+  // More workers than queries must not crash or change results.
+  auto workload = MakeFacebookWorkload(6, 6);
+  ProportionalSplitPolicy baseline;
+  ExperimentResult wide = RunExperiment(workload, {&baseline}, SimConfig(16, 3));
+  ExperimentResult narrow = RunExperiment(workload, {&baseline}, SimConfig(1, 3));
+  ExpectSameSamples(wide.Outcome("prop-split").quality, narrow.Outcome("prop-split").quality);
+}
+
+}  // namespace
+}  // namespace cedar

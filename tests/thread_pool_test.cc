@@ -1,0 +1,126 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cedar {
+namespace {
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_EQ(ResolveThreadCount(0), ThreadPool::HardwareThreads());
+  EXPECT_EQ(ResolveThreadCount(-3), ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 500;
+  std::atomic<int> count{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, WaitThenReuse) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 50);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitFollowUpWork) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, StealingBalancesSkewedTasks) {
+  // One long task plus many short ones: with stealing, the short tasks all
+  // finish while the long one runs, regardless of which deque they landed in.
+  ThreadPool pool(4);
+  std::atomic<int> short_done{0};
+  pool.Submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(100)); });
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&short_done] { short_done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(short_done.load(), 64);
+}
+
+TEST(ParallelForChunksTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr long long kTotal = 1000;
+  std::vector<std::atomic<int>> hits(kTotal);
+  ParallelForChunks(pool, kTotal, 16, [&hits](long long begin, long long end, int /*chunk*/) {
+    for (long long i = begin; i < end; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (long long i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForChunksTest, MoreChunksThanItems) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  ParallelForChunks(pool, 3, 16, [&count](long long begin, long long end, int /*chunk*/) {
+    count.fetch_add(static_cast<int>(end - begin), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelForChunksTest, ZeroItemsIsANoOp) {
+  ThreadPool pool(2);
+  ParallelForChunks(pool, 0, 4, [](long long, long long, int) { FAIL() << "no chunks expected"; });
+}
+
+TEST(ParallelForChunksTest, ChunkRangesTileTheIndexSpace) {
+  ThreadPool pool(1);  // single worker: no data race on |ranges|
+  std::vector<std::pair<long long, long long>> ranges;
+  ParallelForChunks(pool, 10, 3, [&ranges](long long begin, long long end, int /*chunk*/) {
+    ranges.emplace_back(begin, end);
+  });
+  ASSERT_EQ(ranges.size(), 3u);
+  // Execution order is a scheduling detail (own-deque pops are LIFO); the
+  // contract is that the ranges tile [0, total) without gaps or overlaps.
+  std::sort(ranges.begin(), ranges.end());
+  EXPECT_EQ(ranges[0].first, 0);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].first, ranges[i - 1].second);
+  }
+  EXPECT_EQ(ranges.back().second, 10);
+}
+
+}  // namespace
+}  // namespace cedar

@@ -64,17 +64,15 @@ int main(int argc, char** argv) {
   double* interarrival =
       flags.AddDouble("interarrival", 100.0, "mean query inter-arrival time (loaded engine)");
   int64_t* seed = flags.AddInt("seed", 42, "rng seed");
+  int64_t* threads = flags.AddInt(
+      "threads", 0, "experiment worker threads (0 = one per hardware thread)");
   std::string* csv_path = flags.AddString("csv", "", "also write results to this CSV file");
   flags.Parse(argc, argv);
 
   auto workload =
       MakeWorkloadByName(*workload_name, static_cast<int>(*k1), static_cast<int>(*k2));
   auto policies = MakePolicyList(*policy_list);
-  std::vector<const WaitPolicy*> policy_ptrs;
-  policy_ptrs.reserve(policies.size());
-  for (const auto& policy : policies) {
-    policy_ptrs.push_back(policy.get());
-  }
+  std::vector<const WaitPolicy*> policy_ptrs = PolicyPointers(policies);
   std::vector<double> deadlines = ParseDoubleList(*deadlines_text);
 
   std::vector<std::string> columns = {"deadline"};
@@ -102,7 +100,8 @@ int main(int argc, char** argv) {
       config.deadline = deadline;
       config.num_queries = static_cast<int>(*queries);
       config.seed = static_cast<uint64_t>(*seed);
-      auto result = RunExperiment(*workload, policy_ptrs, config);
+      config.threads = static_cast<int>(*threads);
+      auto result = RunExperiment(*workload, policies, config);
       for (const auto* policy : policy_ptrs) {
         row.push_back(TablePrinter::FormatDouble(result.Outcome(policy->name()).MeanQuality(), 4));
       }
@@ -115,8 +114,9 @@ int main(int argc, char** argv) {
       config.deadline = deadline;
       config.num_queries = static_cast<int>(*queries);
       config.seed = static_cast<uint64_t>(*seed);
+      config.threads = static_cast<int>(*threads);
       config.run.speculation.enabled = *speculation;
-      auto result = RunClusterExperiment(*workload, policy_ptrs, config);
+      auto result = RunClusterExperiment(*workload, policies, config);
       for (const auto* policy : policy_ptrs) {
         row.push_back(TablePrinter::FormatDouble(result.Outcome(policy->name()).MeanQuality(), 4));
       }
