@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/sim/aggregator_node.h"
 #include "src/sim/event_queue.h"
 #include "src/stats/distribution.h"
@@ -113,12 +114,15 @@ AnalyticsOutcome AnalyticsService::RunQuery(const WaitPolicy& policy,
   AnalyticsOutcome outcome;
   GroupPartial root = empty_partial();
 
+  int aggregator_misses = 0;
   auto send_fn = [&](AggregatorNode& node, double weight) {
     auto agg = static_cast<size_t>(node.index());
     double ship = realization.stage_durations[1][agg];
     if (queue.now() + ship <= config_.deadline) {
       root.Accumulate(collected[agg]);
       outcome.partitions_included += static_cast<int>(weight);
+    } else {
+      ++aggregator_misses;
     }
   };
 
@@ -158,6 +162,16 @@ AnalyticsOutcome AnalyticsService::RunQuery(const WaitPolicy& policy,
   outcome.mean_relative_error = error_sum / static_cast<double>(exact.size());
   outcome.fraction_quality =
       static_cast<double>(outcome.partitions_included) / static_cast<double>(k1 * k2);
+
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("analytics.queries").Increment();
+    registry.GetCounter("analytics.deadline_misses").Increment(aggregator_misses);
+    registry.GetHistogram("analytics.mean_relative_error", {1e-6, 10.0, 50})
+        .Observe(outcome.mean_relative_error);
+    registry.GetHistogram("analytics.fraction_quality", {1e-4, 1.0, 40})
+        .Observe(outcome.fraction_quality);
+  }
   return outcome;
 }
 

@@ -1,6 +1,7 @@
 #include "src/apps/search_service.h"
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/sim/aggregator_node.h"
 #include "src/sim/event_queue.h"
 
@@ -52,6 +53,7 @@ SearchQueryOutcome SearchService::RunQuery(const WaitPolicy& policy,
   outcome.total_shards = k1 * k2;
   std::vector<std::vector<SearchHit>> root_lists;
 
+  int aggregator_misses = 0;
   auto send_fn = [&](AggregatorNode& node, double weight) {
     auto agg = static_cast<size_t>(node.index());
     double ship = realization.stage_durations[1][agg];
@@ -60,6 +62,8 @@ SearchQueryOutcome SearchService::RunQuery(const WaitPolicy& policy,
       // few of them upstream").
       root_lists.push_back(MergeTopK(collected[agg], config_.top_k));
       outcome.shards_included += static_cast<int>(weight);
+    } else {
+      ++aggregator_misses;
     }
   };
 
@@ -93,6 +97,15 @@ SearchQueryOutcome SearchService::RunQuery(const WaitPolicy& policy,
   outcome.recall = RecallAtK(exact, response);
   outcome.fraction_quality =
       static_cast<double>(outcome.shards_included) / static_cast<double>(outcome.total_shards);
+
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("search.queries").Increment();
+    registry.GetCounter("search.deadline_misses").Increment(aggregator_misses);
+    registry.GetHistogram("search.recall", {1e-4, 1.0, 40}).Observe(outcome.recall);
+    registry.GetHistogram("search.fraction_quality", {1e-4, 1.0, 40})
+        .Observe(outcome.fraction_quality);
+  }
   return outcome;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/query_trace.h"
 #include "src/sim/aggregator_node.h"
 #include "src/sim/event_queue.h"
 
@@ -53,6 +54,12 @@ ClusterQueryResult ClusterRuntime::RunQuery(const WaitPolicy& policy_prototype,
   int tiers = offline_tree_.num_aggregator_tiers();
   CEDAR_CHECK_EQ(static_cast<int>(realization.stage_durations.size()), n);
 
+  TraceCollector* collector =
+      options_.trace != nullptr ? options_.trace : ActiveTraceCollector();
+  QueryTraceBuilder trace(collector, realization.truth.sequence,
+                          policy_prototype.name(), "cluster");
+  QueryTraceBuilder* trace_ptr = trace.active() ? &trace : nullptr;
+
   // Quality-curve knowledge, as in TreeSimulation.
   std::vector<PiecewiseLinear> query_stack;
   const std::vector<PiecewiseLinear>* stack = &curve_stack_;
@@ -74,6 +81,9 @@ ClusterQueryResult ClusterRuntime::RunQuery(const WaitPolicy& policy_prototype,
       ctx.offline_tree = &offline_tree_;
       ctx.upper_quality = &(*stack)[static_cast<size_t>(tier + 1)];
       ctx.epsilon = epsilon_;
+      if (trace_ptr != nullptr) {
+        trace_ptr->RecordTierPlan(tier, offset);
+      }
       if (tier + 1 < tiers) {
         auto scratch = policy_prototype.Clone();
         scratch->BeginQuery(ctx, &realization.truth);
@@ -90,7 +100,7 @@ ClusterQueryResult ClusterRuntime::RunQuery(const WaitPolicy& policy_prototype,
       auto policy = policy_prototype.Clone();
       policy->BeginQuery(contexts[static_cast<size_t>(tier)], &realization.truth);
       nodes[static_cast<size_t>(tier)][static_cast<size_t>(i)].Init(
-          tier, i, std::move(policy), &contexts[static_cast<size_t>(tier)]);
+          tier, i, std::move(policy), &contexts[static_cast<size_t>(tier)], 0.0, trace_ptr);
     }
   }
 
@@ -105,11 +115,15 @@ ClusterQueryResult ClusterRuntime::RunQuery(const WaitPolicy& policy_prototype,
           realization.stage_durations[static_cast<size_t>(tier + 1)][static_cast<size_t>(index)];
       double arrive_at = queue.now() + ship;
       if (tier + 1 == tiers) {
-        if (arrive_at <= deadline_) {
+        bool in_time = arrive_at <= deadline_;
+        if (in_time) {
           result.included_weight += weight;
           ++result.root_arrivals_in_time;
         } else {
           ++result.root_arrivals_late;
+        }
+        if (trace_ptr != nullptr) {
+          trace_ptr->RecordRootArrival(arrive_at, in_time);
         }
         return;
       }
@@ -288,6 +302,15 @@ ClusterQueryResult ClusterRuntime::RunQuery(const WaitPolicy& policy_prototype,
   queue.Run();
 
   result.quality = result.total_weight > 0.0 ? result.included_weight / result.total_weight : 0.0;
+  if (trace_ptr != nullptr) {
+    trace_ptr->Finish(
+        std::max(result.makespan, deadline_), result.quality,
+        {TraceArg::Num("waves", result.waves),
+         TraceArg::Num("tasks_launched", static_cast<double>(result.tasks_launched)),
+         TraceArg::Num("clones_launched", static_cast<double>(result.clones_launched)),
+         TraceArg::Num("clones_won", static_cast<double>(result.clones_won)),
+         TraceArg::Num("root_late", static_cast<double>(result.root_arrivals_late))});
+  }
   return result;
 }
 

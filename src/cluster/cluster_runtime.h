@@ -69,6 +69,10 @@ struct ClusterRunOptions {
   SpeculationOptions speculation;
   // Seed for runtime-internal randomness (speculative clone durations).
   uint64_t runtime_seed = 1;
+
+  // Query-lifecycle trace sink, with the same fallback-to-global contract
+  // as TreeSimulationOptions::trace.
+  TraceCollector* trace = nullptr;
 };
 
 struct ClusterQueryResult {

@@ -1,6 +1,7 @@
 #include "src/cluster/experiment.h"
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/sim/experiment_engine.h"
 
 namespace cedar {
@@ -34,6 +35,24 @@ ClusterExperimentResult RunClusterExperiment(const Workload& workload,
       result.total_clones_launched += query_result.clones_launched;
       result.total_clones_won += query_result.clones_won;
       result.waves = query_result.waves;
+    }
+  }
+
+  // Folded after the deterministic merge, same contract as the sim driver.
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("cluster.experiments").Increment();
+    registry.GetCounter("cluster.queries").Increment(config.num_queries);
+    registry.GetCounter("cluster.clones_launched").Increment(result.total_clones_launched);
+    registry.GetCounter("cluster.clones_won").Increment(result.total_clones_won);
+    Histogram& quality =
+        registry.GetHistogram("cluster.query_quality", {1e-4, 1.0, 40});
+    Counter& late = registry.GetCounter("cluster.root_arrivals_late");
+    for (const auto& outcome : result.outcomes) {
+      for (double value : outcome.quality.values()) {
+        quality.Observe(value);
+      }
+      late.Increment(outcome.root_arrivals_late);
     }
   }
   return result;

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "src/common/logging.h"
+#include "src/obs/query_trace.h"
 #include "src/sim/aggregator_node.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/realization.h"
@@ -25,6 +26,8 @@ struct JobState {
   double included_weight = 0.0;
   double total_weight = 0.0;
   long long tasks_remaining_to_deliver = 0;
+  // Owned per job: events span the job's lifetime, flushed after the run.
+  std::unique_ptr<QueryTraceBuilder> trace;
 };
 
 struct PendingTask {
@@ -70,8 +73,12 @@ LoadedRunResult RunLoadedCluster(const Workload& workload, const WaitPolicy& pol
                         .stage_durations[static_cast<size_t>(tier + 1)][static_cast<size_t>(index)];
       double arrive_at = queue.now() + ship;
       if (tier + 1 == tiers) {
-        if (arrive_at <= job->arrival + config.deadline) {
+        bool in_time = arrive_at <= job->arrival + config.deadline;
+        if (in_time) {
           job->included_weight += weight;
+        }
+        if (job->trace != nullptr && job->trace->active()) {
+          job->trace->RecordRootArrival(arrive_at - job->arrival, in_time);
         }
         return;
       }
@@ -83,6 +90,9 @@ LoadedRunResult RunLoadedCluster(const Workload& workload, const WaitPolicy& pol
     };
   };
 
+  TraceCollector* collector =
+      config.trace != nullptr ? config.trace : ActiveTraceCollector();
+
   auto start_job = [&](QueryTruth truth) {
     auto job = std::make_unique<JobState>();
     job->arrival = queue.now();
@@ -91,6 +101,9 @@ LoadedRunResult RunLoadedCluster(const Workload& workload, const WaitPolicy& pol
     job->total_weight = job->realization.TotalWeight();
     job->tasks_remaining_to_deliver =
         static_cast<long long>(job->realization.stage_durations[0].size());
+    job->trace = std::make_unique<QueryTraceBuilder>(
+        collector, job->realization.truth.sequence, policy.name(), "loaded", job->arrival);
+    QueryTraceBuilder* trace_ptr = job->trace->active() ? job->trace.get() : nullptr;
 
     const std::vector<PiecewiseLinear>* stack = &offline_stack;
     if (config.per_query_upper_knowledge) {
@@ -110,6 +123,9 @@ LoadedRunResult RunLoadedCluster(const Workload& workload, const WaitPolicy& pol
       ctx.offline_tree = &offline_tree;
       ctx.upper_quality = &(*stack)[static_cast<size_t>(tier + 1)];
       ctx.epsilon = epsilon;
+      if (trace_ptr != nullptr) {
+        trace_ptr->RecordTierPlan(tier, offset);
+      }
       if (tier + 1 < tiers) {
         auto scratch = policy.Clone();
         scratch->BeginQuery(ctx, &job->realization.truth);
@@ -128,7 +144,7 @@ LoadedRunResult RunLoadedCluster(const Workload& workload, const WaitPolicy& pol
                                 &job->realization.truth);
         job->nodes[static_cast<size_t>(tier)][static_cast<size_t>(i)].Init(
             tier, i, std::move(node_policy), &job->contexts[static_cast<size_t>(tier)],
-            job->arrival);
+            job->arrival, trace_ptr);
       }
     }
     JobState* raw = job.get();
@@ -190,9 +206,13 @@ LoadedRunResult RunLoadedCluster(const Workload& workload, const WaitPolicy& pol
   queue.Run();
 
   for (const auto& job : jobs) {
-    result.per_query_quality.Add(job->total_weight > 0.0
-                                     ? job->included_weight / job->total_weight
-                                     : 0.0);
+    double quality =
+        job->total_weight > 0.0 ? job->included_weight / job->total_weight : 0.0;
+    result.per_query_quality.Add(quality);
+    if (job->trace->active()) {
+      job->trace->Finish(config.deadline, quality,
+                         {TraceArg::Num("arrival", job->arrival)});
+    }
   }
   result.mean_queue_delay =
       tasks_started > 0 ? queue_delay_sum / static_cast<double>(tasks_started) : 0.0;

@@ -32,6 +32,11 @@ struct LoadedRunConfig {
   QualityGridOptions grid;
   // Same knowledge model as the single-query runtimes.
   bool per_query_upper_knowledge = true;
+
+  // Query-lifecycle trace sink, with the same fallback-to-global contract
+  // as TreeSimulationOptions::trace. Spans are placed at each query's
+  // arrival time, so a loaded trace shows the overlapping jobs.
+  TraceCollector* trace = nullptr;
 };
 
 struct LoadedRunResult {

@@ -7,7 +7,12 @@
 namespace cedar {
 namespace {
 
-std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+// Initialized from $CEDAR_LOG_LEVEL once, before any logging happens.
+LogSeverity InitialSeverity() {
+  return ParseLogSeverity(std::getenv("CEDAR_LOG_LEVEL"), LogSeverity::kInfo);
+}
+
+std::atomic<LogSeverity> g_min_severity{InitialSeverity()};
 std::mutex g_log_mutex;
 
 const char* SeverityTag(LogSeverity severity) {
@@ -43,6 +48,32 @@ LogSeverity GetMinLogSeverity() { return g_min_severity.load(std::memory_order_r
 
 void SetMinLogSeverity(LogSeverity severity) {
   g_min_severity.store(severity, std::memory_order_relaxed);
+}
+
+LogSeverity ParseLogSeverity(const char* text, LogSeverity fallback) {
+  if (text == nullptr) {
+    return fallback;
+  }
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug" || lower == "0") {
+    return LogSeverity::kDebug;
+  }
+  if (lower == "info" || lower == "1") {
+    return LogSeverity::kInfo;
+  }
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogSeverity::kWarning;
+  }
+  if (lower == "error" || lower == "3") {
+    return LogSeverity::kError;
+  }
+  if (lower == "fatal" || lower == "4") {
+    return LogSeverity::kFatal;
+  }
+  return fallback;
 }
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {

@@ -26,9 +26,16 @@ enum class LogSeverity {
   kFatal = 4,
 };
 
-// Global minimum severity that is actually emitted. Defaults to kInfo.
+// Global minimum severity that is actually emitted (atomic: any thread may
+// read or flip it). Defaults to kInfo, or to $CEDAR_LOG_LEVEL when that env
+// var holds a valid level at the first log call.
 LogSeverity GetMinLogSeverity();
 void SetMinLogSeverity(LogSeverity severity);
+
+// Parses a severity name ("debug", "info", "warning", "error", "fatal",
+// case-insensitive, or the numeric value 0-4). Returns |fallback| for null
+// or unrecognized input.
+LogSeverity ParseLogSeverity(const char* text, LogSeverity fallback);
 
 // One in-flight log statement. Flushes (and aborts for kFatal) in the
 // destructor, so the streaming form composes naturally.

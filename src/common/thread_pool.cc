@@ -56,7 +56,17 @@ void ThreadPool::Submit(std::function<void()> task) {
     ++outstanding_;
     pending_.fetch_add(1, std::memory_order_relaxed);
   }
+  stat_submitted_.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_one();
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  stats.submitted = stat_submitted_.load(std::memory_order_relaxed);
+  stats.executed_local = stat_executed_local_.load(std::memory_order_relaxed);
+  stats.stolen = stat_stolen_.load(std::memory_order_relaxed);
+  stats.idle_waits = stat_idle_waits_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void ThreadPool::Wait() {
@@ -73,6 +83,7 @@ std::function<void()> ThreadPool::TakeTask(size_t worker_index) {
       auto task = std::move(self.tasks.back());
       self.tasks.pop_back();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      stat_executed_local_.fetch_add(1, std::memory_order_relaxed);
       return task;
     }
   }
@@ -85,6 +96,7 @@ std::function<void()> ThreadPool::TakeTask(size_t worker_index) {
       auto task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      stat_stolen_.fetch_add(1, std::memory_order_relaxed);
       return task;
     }
   }
@@ -95,6 +107,7 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> task = TakeTask(worker_index);
     if (task == nullptr) {
+      stat_idle_waits_.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock<std::mutex> lock(state_mutex_);
       // No lost wakeups: any submitted-but-untaken task keeps pending_ > 0,
       // and pending_ only rises under state_mutex_, so a worker cannot slip

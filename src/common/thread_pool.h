@@ -50,6 +50,17 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  // Scheduling counters since construction. Maintained with relaxed atomics
+  // on paths that already hold a deque lock, so the overhead is noise; the
+  // experiment engine exports them to the metrics registry after a run.
+  struct Stats {
+    long long submitted = 0;       // tasks accepted by Submit
+    long long executed_local = 0;  // tasks a worker popped from its own deque
+    long long stolen = 0;          // tasks taken from another worker's deque
+    long long idle_waits = 0;      // times a worker blocked on the work cv
+  };
+  Stats GetStats() const;
+
   // std::thread::hardware_concurrency() clamped to >= 1.
   static int HardwareThreads();
 
@@ -75,6 +86,11 @@ class ThreadPool {
   long long outstanding_ = 0;        // submitted but not yet finished
   std::atomic<long long> pending_{0};  // submitted but not yet taken
   bool stopping_ = false;
+
+  std::atomic<long long> stat_submitted_{0};
+  std::atomic<long long> stat_executed_local_{0};
+  std::atomic<long long> stat_stolen_{0};
+  std::atomic<long long> stat_idle_waits_{0};
 };
 
 // Resolves a thread-count request: n >= 1 means exactly n workers; n <= 0

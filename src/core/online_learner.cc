@@ -1,6 +1,7 @@
 #include "src/core/online_learner.h"
 
 #include "src/common/logging.h"
+#include "src/obs/profiler.h"
 
 namespace cedar {
 
@@ -28,6 +29,8 @@ std::optional<DistributionSpec> OnlineLearner::CurrentFit() const {
   if (num_observations() < options_.min_samples) {
     return cached_fit_;
   }
+  // Only the recompute path is timed; cache hits return above.
+  CEDAR_PROFILE_SCOPE("online_learner.fit");
   if (options_.use_empirical_estimates) {
     cached_fit_ = FitSpecEmpirical(options_.family, arrivals_);
   } else {

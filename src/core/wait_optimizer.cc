@@ -6,11 +6,13 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/obs/profiler.h"
 
 namespace cedar {
 
 WaitDecision OptimizeWait(const Distribution& bottom, int fanout,
                           const PiecewiseLinear& upper_quality, double deadline, double epsilon) {
+  CEDAR_PROFILE_SCOPE("wait_optimizer.optimize_wait");
   CEDAR_CHECK_GE(fanout, 1);
   CEDAR_CHECK_GT(epsilon, 0.0);
   WaitDecision decision;
@@ -112,6 +114,7 @@ WaitDecision OptimizeWaitParallel(const Distribution& bottom, int fanout,
 }
 
 TreePlan PlanTree(const TreeSpec& tree, double deadline, const QualityGridOptions& options) {
+  CEDAR_PROFILE_SCOPE("wait_optimizer.plan_tree");
   CEDAR_CHECK_GT(deadline, 0.0);
   TreePlan plan;
   auto stack = BuildQualityCurveStack(tree, deadline, options);

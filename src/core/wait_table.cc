@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/math_util.h"
+#include "src/obs/profiler.h"
 
 namespace cedar {
 namespace {
@@ -22,6 +23,7 @@ std::unique_ptr<Distribution> MakeParameterized(DistributionFamily family, doubl
 WaitTable::WaitTable(WaitTableSpec spec, int fanout, const PiecewiseLinear& upper_quality,
                      double deadline, double epsilon)
     : spec_(spec), deadline_(deadline) {
+  CEDAR_PROFILE_SCOPE("wait_table.build");
   CEDAR_CHECK_GE(spec_.location_points, 2);
   CEDAR_CHECK_GE(spec_.scale_points, 2);
   CEDAR_CHECK_LT(spec_.location_min, spec_.location_max);

@@ -1,0 +1,335 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "src/common/csv.h"
+#include "src/common/logging.h"
+#include "src/common/table.h"
+
+namespace cedar {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+}  // namespace
+
+bool MetricsEnabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace obs_internal {
+
+int ThreadShard() {
+  // Hashed once per thread; kMetricShards is a power of two.
+  static thread_local int shard = static_cast<int>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+      static_cast<size_t>(kMetricShards - 1));
+  return shard;
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace obs_internal
+
+// ---- Counter ----
+
+long long Counter::Value() const {
+  long long total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---- Gauge ----
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+// ---- Histogram ----
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  CEDAR_CHECK_GT(options_.min_value, 0.0);
+  CEDAR_CHECK_GT(options_.max_value, options_.min_value);
+  CEDAR_CHECK_GE(options_.num_buckets, 2);
+  log_min_ = std::log(options_.min_value);
+  log_step_ = (std::log(options_.max_value) - log_min_) /
+              static_cast<double>(options_.num_buckets - 1);
+  shards_ = std::vector<Shard>(static_cast<size_t>(obs_internal::kMetricShards));
+  for (Shard& shard : shards_) {
+    shard.min.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    shard.buckets = std::vector<std::atomic<long long>>(
+        static_cast<size_t>(options_.num_buckets));
+  }
+}
+
+int Histogram::BucketIndex(double value) const {
+  if (!(value > options_.min_value)) {
+    return 0;  // also catches NaN and non-positive values
+  }
+  if (value >= options_.max_value) {
+    return options_.num_buckets - 1;
+  }
+  int index = static_cast<int>((std::log(value) - log_min_) / log_step_) + 1;
+  return std::clamp(index, 1, options_.num_buckets - 1);
+}
+
+double Histogram::BucketUpperBound(int index) const {
+  if (index <= 0) {
+    return options_.min_value;
+  }
+  return std::exp(log_min_ + log_step_ * static_cast<double>(index));
+}
+
+void Histogram::Observe(double value) {
+  Shard& shard = shards_[static_cast<size_t>(obs_internal::ThreadShard())];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  obs_internal::AtomicMin(shard.min, value);
+  obs_internal::AtomicMax(shard.max, value);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + value, std::memory_order_relaxed)) {
+  }
+  shard.buckets[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+long long Histogram::Count() const {
+  long long total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Min() const {
+  double result = std::numeric_limits<double>::infinity();
+  for (const Shard& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) > 0) {
+      result = std::min(result, shard.min.load(std::memory_order_relaxed));
+    }
+  }
+  return result;
+}
+
+double Histogram::Max() const {
+  double result = -std::numeric_limits<double>::infinity();
+  for (const Shard& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) > 0) {
+      result = std::max(result, shard.max.load(std::memory_order_relaxed));
+    }
+  }
+  return result;
+}
+
+std::vector<long long> Histogram::MergedBuckets() const {
+  std::vector<long long> merged(static_cast<size_t>(options_.num_buckets), 0);
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < merged.size(); ++b) {
+      merged[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+double Histogram::Quantile(double q) const {
+  CEDAR_CHECK(q >= 0.0 && q <= 1.0);
+  long long count = Count();
+  if (count == 0) {
+    return 0.0;
+  }
+  std::vector<long long> buckets = MergedBuckets();
+  auto rank = static_cast<long long>(q * static_cast<double>(count - 1));
+  long long seen = 0;
+  for (int b = 0; b < options_.num_buckets; ++b) {
+    seen += buckets[static_cast<size_t>(b)];
+    if (seen > rank) {
+      return std::clamp(BucketUpperBound(b), Min(), Max());
+    }
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---- MetricsSnapshot ----
+
+void MetricsSnapshot::WriteReport(std::ostream& out) const {
+  PrintBanner(out, "metrics report");
+  if (empty()) {
+    out << "(no metrics recorded — run with metrics enabled)\n";
+    return;
+  }
+  if (!counters.empty()) {
+    TablePrinter table({"counter", "value"});
+    for (const auto& sample : counters) {
+      table.AddRow({sample.name, std::to_string(sample.value)});
+    }
+    table.Print(out);
+  }
+  if (!gauges.empty()) {
+    TablePrinter table({"gauge", "value"});
+    for (const auto& sample : gauges) {
+      table.AddRow({sample.name, TablePrinter::FormatDouble(sample.value, 4)});
+    }
+    table.Print(out);
+  }
+  if (!histograms.empty()) {
+    TablePrinter table({"histogram", "count", "mean", "min", "p50", "p90", "p99", "max"});
+    for (const auto& sample : histograms) {
+      table.AddRow({sample.name, std::to_string(sample.count),
+                    TablePrinter::FormatDouble(sample.Mean(), 4),
+                    TablePrinter::FormatDouble(sample.min, 4),
+                    TablePrinter::FormatDouble(sample.p50, 4),
+                    TablePrinter::FormatDouble(sample.p90, 4),
+                    TablePrinter::FormatDouble(sample.p99, 4),
+                    TablePrinter::FormatDouble(sample.max, 4)});
+    }
+    table.Print(out);
+  }
+}
+
+void MetricsSnapshot::WriteCsv(const std::string& path) const {
+  CsvWriter writer(path);
+  writer.Header({"name", "kind", "count", "sum", "mean", "min", "max", "p50", "p90", "p99"});
+  for (const auto& sample : counters) {
+    writer.Row({sample.name, "counter", std::to_string(sample.value),
+                std::to_string(sample.value), "", "", "", "", "", ""});
+  }
+  for (const auto& sample : gauges) {
+    writer.Row({sample.name, "gauge", "", TablePrinter::FormatDouble(sample.value, 6), "", "",
+                "", "", "", ""});
+  }
+  for (const auto& sample : histograms) {
+    writer.Row({sample.name, "histogram", std::to_string(sample.count),
+                TablePrinter::FormatDouble(sample.sum, 6),
+                TablePrinter::FormatDouble(sample.Mean(), 6),
+                TablePrinter::FormatDouble(sample.min, 6),
+                TablePrinter::FormatDouble(sample.max, 6),
+                TablePrinter::FormatDouble(sample.p50, 6),
+                TablePrinter::FormatDouble(sample.p90, 6),
+                TablePrinter::FormatDouble(sample.p99, 6)});
+  }
+}
+
+// ---- MetricsRegistry ----
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // intentionally leaked
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(options);
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.count = histogram->Count();
+    if (sample.count > 0) {
+      sample.sum = histogram->Sum();
+      sample.min = histogram->Min();
+      sample.max = histogram->Max();
+      sample.p50 = histogram->Quantile(0.5);
+      sample.p90 = histogram->Quantile(0.9);
+      sample.p99 = histogram->Quantile(0.99);
+    }
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace cedar

@@ -1,0 +1,216 @@
+// Thread-safe metrics registry: counters, gauges, and histograms.
+//
+// Design constraints (see DESIGN.md §9):
+//  * Write paths are per-thread sharded — an Increment/Observe touches one
+//    cache-line-aligned shard picked by the calling thread, so concurrent
+//    experiment workers never contend, and instrumentation cannot perturb
+//    the engine's bit-identical cross-thread-count guarantee (metrics are a
+//    write-only side channel; nothing in a hot path ever reads them back).
+//  * Shards are merged only on Snapshot(), which is an off-path operation
+//    (end of a run, a test assertion).
+//  * Collection is off by default: call sites gate on MetricsEnabled(), a
+//    relaxed atomic load, so a disabled build pays one predictable branch.
+//
+// Usage:
+//   if (MetricsEnabled()) {
+//     MetricsRegistry::Global().GetCounter("sim.queries").Increment();
+//   }
+//   MetricsRegistry::Global().Snapshot().WriteReport(std::cout);
+
+#ifndef CEDAR_SRC_OBS_METRICS_H_
+#define CEDAR_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cedar {
+
+// Global collection switch (relaxed atomic; off by default).
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace obs_internal {
+
+// Number of write shards per metric. A power of two so the thread-id hash
+// folds cheaply; 16 covers the experiment engine's worker-count cap.
+inline constexpr int kMetricShards = 16;
+
+// Stable shard index of the calling thread in [0, kMetricShards).
+int ThreadShard();
+
+// Lock-free min/max update on an atomic double (relaxed CAS loop).
+void AtomicMin(std::atomic<double>& target, double value);
+void AtomicMax(std::atomic<double>& target, double value);
+
+}  // namespace obs_internal
+
+// A monotonically increasing integer metric.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(long long delta = 1) {
+    shards_[obs_internal::ThreadShard()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // Merged value across shards.
+  long long Value() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<long long> value{0};
+  };
+  Shard shards_[obs_internal::kMetricShards];
+};
+
+// A last-write-wins double metric (plus Add for accumulators).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramOptions {
+  // Geometric bucket boundaries spanning [min_value, max_value]; values at
+  // or below min_value land in bucket 0, values at or above max_value in
+  // the last bucket. Exact count/sum/min/max are tracked besides buckets,
+  // so only the quantile estimates depend on the grid.
+  double min_value = 1e-6;
+  double max_value = 1e6;
+  int num_buckets = 60;
+};
+
+// A distribution metric: exact count/sum/min/max plus geometric buckets for
+// quantile estimation. Same sharded write path as Counter.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  long long Count() const;
+  double Sum() const;
+  double Min() const;  // +inf when empty
+  double Max() const;  // -inf when empty
+
+  // Estimated quantile (q in [0, 1]) from the merged buckets, clamped to
+  // the exact [Min, Max] envelope. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+  const HistogramOptions& options() const { return options_; }
+
+ private:
+  int BucketIndex(double value) const;
+  // Upper bound of bucket |index| in value space.
+  double BucketUpperBound(int index) const;
+  std::vector<long long> MergedBuckets() const;
+
+  HistogramOptions options_;
+  double log_min_;
+  double log_step_;
+
+  struct alignas(64) Shard {
+    std::atomic<long long> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};  // seeded to +/-inf by the constructor
+    std::atomic<double> max{0.0};
+    std::vector<std::atomic<long long>> buckets;
+  };
+  std::vector<Shard> shards_;
+};
+
+// One merged sample of each metric kind, for reports and CSV export.
+struct CounterSample {
+  std::string name;
+  long long value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+// Point-in-time merged view of a registry, sorted by metric name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  bool empty() const { return counters.empty() && gauges.empty() && histograms.empty(); }
+
+  // Aligned text tables (the --metrics-report output).
+  void WriteReport(std::ostream& out) const;
+
+  // CSV with columns: name,kind,count,sum,mean,min,max,p50,p90,p99.
+  void WriteCsv(const std::string& path) const;
+};
+
+// Owns metrics by name. Get* registers on first use and returns a stable
+// reference; lookups take a mutex, so hot paths should hoist the reference
+// out of per-event loops.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry used by engines, apps, and tools.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // |options| only apply when the histogram is first created.
+  Histogram& GetHistogram(const std::string& name, HistogramOptions options = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered metric (registrations are kept).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: snapshots iterate in name order, keeping reports deterministic.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_OBS_METRICS_H_

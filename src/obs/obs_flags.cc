@@ -1,0 +1,60 @@
+#include "src/obs/obs_flags.h"
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+
+namespace cedar {
+namespace {
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+ObservabilityFlags AddObservabilityFlags(FlagSet& flags) {
+  ObservabilityFlags obs;
+  obs.metrics =
+      flags.AddBool("metrics", false, "enable metric collection and profiling hooks");
+  obs.metrics_report = flags.AddBool(
+      "metrics-report", false, "print the metrics and profile report at exit (implies --metrics)");
+  obs.trace_out = flags.AddString(
+      "trace-out", "",
+      "collect query-lifecycle traces and write them to this path (.csv for CSV, otherwise "
+      "Chrome trace-event JSON for chrome://tracing or Perfetto)");
+  return obs;
+}
+
+ObservabilityScope InitObservability(const ObservabilityFlags& flags) {
+  const bool metrics = *flags.metrics || *flags.metrics_report;
+  SetMetricsEnabled(metrics);
+  SetProfilingEnabled(metrics);
+  ObservabilityScope scope;
+  if (!flags.trace_out->empty()) {
+    scope.collector = std::make_unique<TraceCollector>();
+    SetActiveTraceCollector(scope.collector.get());
+  }
+  return scope;
+}
+
+void FinishObservability(const ObservabilityFlags& flags, ObservabilityScope& scope,
+                         std::ostream& out) {
+  if (scope.collector != nullptr) {
+    SetActiveTraceCollector(nullptr);
+    const std::string& path = *flags.trace_out;
+    if (EndsWith(path, ".csv")) {
+      scope.collector->WriteCsv(path);
+    } else {
+      scope.collector->WriteChromeJson(path);
+    }
+    CEDAR_LOG(INFO) << "wrote " << scope.collector->size() << " trace events to " << path;
+  }
+  if (*flags.metrics_report) {
+    MetricsRegistry::Global().Snapshot().WriteReport(out);
+    WriteProfileReport(out);
+  }
+}
+
+}  // namespace cedar

@@ -1,0 +1,57 @@
+// Shared observability command-line surface for tools and benches.
+//
+// A binary registers the flags on its FlagSet, calls InitObservability()
+// after Parse(), runs its workload, and calls FinishObservability() before
+// exit:
+//
+//   FlagSet flags("...");
+//   ObservabilityFlags obs = AddObservabilityFlags(flags);
+//   flags.Parse(argc, argv);
+//   ObservabilityScope scope = InitObservability(obs);
+//   ... workload ...
+//   FinishObservability(obs, scope, std::cout);
+//
+// Flags added:
+//   --metrics          enable metric counters/histograms and profiling hooks
+//   --metrics-report   print metrics + profile report at exit (implies --metrics)
+//   --trace-out=PATH   collect query-lifecycle traces and write them to PATH
+//                      (.csv writes CSV, anything else Chrome trace JSON)
+
+#ifndef CEDAR_SRC_OBS_OBS_FLAGS_H_
+#define CEDAR_SRC_OBS_OBS_FLAGS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/obs/trace.h"
+
+namespace cedar {
+
+struct ObservabilityFlags {
+  bool* metrics = nullptr;
+  bool* metrics_report = nullptr;
+  std::string* trace_out = nullptr;
+};
+
+// Holds the trace collector (when --trace-out is set) installed as the
+// process-global ActiveTraceCollector for the workload's duration.
+struct ObservabilityScope {
+  std::unique_ptr<TraceCollector> collector;
+};
+
+ObservabilityFlags AddObservabilityFlags(FlagSet& flags);
+
+// Applies the parsed flags: flips the metrics/profiling switches and
+// installs a global trace collector when --trace-out was given.
+ObservabilityScope InitObservability(const ObservabilityFlags& flags);
+
+// Writes requested outputs (trace file, metrics/profile report to |out|)
+// and uninstalls the global collector.
+void FinishObservability(const ObservabilityFlags& flags, ObservabilityScope& scope,
+                         std::ostream& out);
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_OBS_OBS_FLAGS_H_

@@ -1,0 +1,119 @@
+// Hot-path profiling hooks: scoped wall-clock timers attached to named
+// sites, aggregated process-wide and printable as a text report.
+//
+// A site is declared once (usually via CEDAR_PROFILE_SCOPE at the top of a
+// function) and self-registers with the global site list; its counters are
+// relaxed atomics, so concurrent workers record without locking. When
+// profiling is disabled — the default — a scope costs one relaxed atomic
+// load and a branch: the timer never reads the clock.
+//
+//   void WaitOptimizer::CalculateWait(...) {
+//     CEDAR_PROFILE_SCOPE("wait_optimizer.calculate_wait");
+//     ...
+//   }
+//
+//   SetProfilingEnabled(true);
+//   ... workload ...
+//   WriteProfileReport(std::cout);
+
+#ifndef CEDAR_SRC_OBS_PROFILER_H_
+#define CEDAR_SRC_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cedar {
+
+// Global profiling switch (relaxed atomic; off by default).
+bool ProfilingEnabled();
+void SetProfilingEnabled(bool enabled);
+
+// Monotonic clock in nanoseconds (std::chrono::steady_clock).
+int64_t SteadyNowNs();
+
+// One named timing site. Construction registers the site in the global
+// report list; sites are expected to be function-local statics and live for
+// the process (the registry holds raw pointers).
+class ProfileSite {
+ public:
+  explicit ProfileSite(const char* name);
+  ProfileSite(const ProfileSite&) = delete;
+  ProfileSite& operator=(const ProfileSite&) = delete;
+
+  void Record(int64_t elapsed_ns);
+
+  const char* name() const { return name_; }
+  int64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  int64_t total_ns() const { return total_ns_.load(std::memory_order_relaxed); }
+  int64_t max_ns() const { return max_ns_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  const char* name_;
+  std::atomic<int64_t> calls_{0};
+  std::atomic<int64_t> total_ns_{0};
+  std::atomic<int64_t> max_ns_{0};
+};
+
+// RAII timer: reads the clock at construction and records the delta at
+// destruction, but only when profiling was enabled at construction time.
+class ScopedProfileTimer {
+ public:
+  explicit ScopedProfileTimer(ProfileSite& site)
+      : site_(ProfilingEnabled() ? &site : nullptr),
+        start_ns_(site_ != nullptr ? SteadyNowNs() : 0) {}
+
+  ScopedProfileTimer(const ScopedProfileTimer&) = delete;
+  ScopedProfileTimer& operator=(const ScopedProfileTimer&) = delete;
+
+  ~ScopedProfileTimer() {
+    if (site_ != nullptr) {
+      site_->Record(SteadyNowNs() - start_ns_);
+    }
+  }
+
+ private:
+  ProfileSite* site_;
+  int64_t start_ns_;
+};
+
+// Merged sample of one site, for reports and tests.
+struct ProfileSample {
+  std::string name;
+  int64_t calls = 0;
+  int64_t total_ns = 0;
+  int64_t max_ns = 0;
+
+  double MeanNs() const {
+    return calls > 0 ? static_cast<double>(total_ns) / static_cast<double>(calls) : 0.0;
+  }
+};
+
+// All registered sites with at least one recorded call, sorted by
+// total_ns descending (name-ordered among ties for stable output).
+std::vector<ProfileSample> CollectProfileSamples();
+
+// Aligned text table of CollectProfileSamples() (the --metrics-report
+// profiling section). Prints a placeholder line when nothing was recorded.
+void WriteProfileReport(std::ostream& out);
+
+// Zeroes every site's counters (registrations are kept).
+void ResetProfile();
+
+#define CEDAR_PROFILE_CONCAT_INNER(a, b) a##b
+#define CEDAR_PROFILE_CONCAT(a, b) CEDAR_PROFILE_CONCAT_INNER(a, b)
+
+// Times the rest of the enclosing scope under |name|. The site is a
+// function-local static, so registration happens once per call site.
+#define CEDAR_PROFILE_SCOPE(name)                                                       \
+  static ::cedar::ProfileSite CEDAR_PROFILE_CONCAT(cedar_profile_site_, __LINE__){name}; \
+  ::cedar::ScopedProfileTimer CEDAR_PROFILE_CONCAT(cedar_profile_timer_, __LINE__)(      \
+      CEDAR_PROFILE_CONCAT(cedar_profile_site_, __LINE__))
+
+}  // namespace cedar
+
+#endif  // CEDAR_SRC_OBS_PROFILER_H_

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/core/policy.h"
+#include "src/obs/query_trace.h"
 #include "src/sim/event_queue.h"
 
 namespace cedar {
@@ -24,14 +25,18 @@ class AggregatorNode {
   // |origin| is this aggregator's time zero: policies reason in times
   // relative to their query's start, so a job arriving mid-simulation sets
   // origin to its arrival time (multi-query cluster runs) while single-query
-  // replays leave it at 0.
+  // replays leave it at 0. |trace|, when non-null, receives lifecycle events
+  // (initial wait, arrivals, re-arms, the hold/fold send) in query-relative
+  // time; it must outlive the node.
   void Init(int tier, long long index, std::unique_ptr<WaitPolicy> policy,
-            const AggregatorContext* ctx, double origin = 0.0) {
+            const AggregatorContext* ctx, double origin = 0.0,
+            QueryTraceBuilder* trace = nullptr) {
     tier_ = tier;
     index_ = index;
     policy_ = std::move(policy);
     ctx_ = ctx;
     origin_ = origin;
+    trace_ = trace;
   }
 
   WaitPolicy* policy() { return policy_.get(); }
@@ -47,6 +52,9 @@ class AggregatorNode {
   void Start(EventQueue& queue, std::function<void(AggregatorNode&, double)> send_fn) {
     send_fn_ = std::move(send_fn);
     double wait = policy_->DecideInitialWait(*ctx_);
+    if (trace_ != nullptr) {
+      trace_->RecordInitialWait(tier_, index_, wait);
+    }
     ArmTimer(queue, wait);
   }
 
@@ -60,12 +68,19 @@ class AggregatorNode {
     double relative_now = queue.now() - origin_;
     arrivals_.push_back(relative_now);
     included_weight_ += weight;
+    if (trace_ != nullptr) {
+      trace_->RecordArrival(tier_, index_, relative_now,
+                            static_cast<int>(arrivals_.size()));
+    }
     if (static_cast<int>(arrivals_.size()) == ctx_->fanout) {
       Send(queue);  // all children reported: SetTimer(0) in Pseudocode 1
       return;
     }
     double wait = policy_->DecideOnArrival(*ctx_, relative_now, arrivals_);
     if (wait != armed_wait_) {
+      if (trace_ != nullptr) {
+        trace_->RecordWaitUpdate(tier_, index_, relative_now, wait);
+      }
       ArmTimer(queue, wait);
     }
   }
@@ -93,6 +108,11 @@ class AggregatorNode {
       timer_handle_ = 0;
     }
     send_time_ = queue.now();
+    if (trace_ != nullptr) {
+      trace_->RecordSend(tier_, index_, send_time_ - origin_,
+                         static_cast<int>(arrivals_.size()), ctx_->fanout,
+                         included_weight_);
+    }
     send_fn_(*this, included_weight_);
   }
 
@@ -101,6 +121,7 @@ class AggregatorNode {
   double origin_ = 0.0;
   std::unique_ptr<WaitPolicy> policy_;
   const AggregatorContext* ctx_ = nullptr;
+  QueryTraceBuilder* trace_ = nullptr;
   std::function<void(AggregatorNode&, double)> send_fn_;
 
   std::vector<double> arrivals_;

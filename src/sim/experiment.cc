@@ -1,6 +1,7 @@
 #include "src/sim/experiment.h"
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/sim/experiment_engine.h"
 #include "src/sim/realization.h"
 
@@ -82,6 +83,23 @@ ExperimentResult RunExperiment(const Workload& workload,
       result.outcomes[p].quality.Add(query_result.quality);
       result.outcomes[p].tier0_send_time.Add(query_result.mean_tier0_send_time);
       result.outcomes[p].root_arrivals_late += query_result.root_arrivals_late;
+    }
+  }
+
+  // Metrics are folded here, after the deterministic merge, never from the
+  // worker threads — the registry observes runs, it does not participate.
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("sim.experiments").Increment();
+    registry.GetCounter("sim.queries").Increment(config.num_queries);
+    Histogram& quality =
+        registry.GetHistogram("sim.query_quality", {1e-4, 1.0, 40});
+    Counter& late = registry.GetCounter("sim.root_arrivals_late");
+    for (const PolicyOutcome& outcome : result.outcomes) {
+      for (double value : outcome.quality.values()) {
+        quality.Observe(value);
+      }
+      late.Increment(outcome.root_arrivals_late);
     }
   }
   return result;

@@ -32,6 +32,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
 #include "src/sim/realization.h"
 #include "src/sim/workload.h"
 #include "src/stats/rng.h"
@@ -103,6 +104,16 @@ std::vector<Row> RunExperimentGrid(const Workload& workload, const TreeSpec& off
   // A few chunks per worker gives the stealing deques something to balance
   // when query costs are skewed (e.g. Oracle planning on heavy-tail draws).
   ParallelForChunks(pool, num_queries, threads * 4, run_chunk);
+  if (MetricsEnabled()) {
+    // Scheduling counters, exported after the barrier so they never touch
+    // the workers' hot path.
+    ThreadPool::Stats stats = pool.GetStats();
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("pool.tasks_submitted").Increment(stats.submitted);
+    registry.GetCounter("pool.tasks_executed_local").Increment(stats.executed_local);
+    registry.GetCounter("pool.tasks_stolen").Increment(stats.stolen);
+    registry.GetCounter("pool.idle_waits").Increment(stats.idle_waits);
+  }
   return grid;
 }
 

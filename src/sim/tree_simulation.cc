@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/query_trace.h"
 #include "src/sim/aggregator_node.h"
 #include "src/sim/event_queue.h"
 
@@ -27,6 +28,13 @@ QueryResult TreeSimulation::RunQuery(const WaitPolicy& policy_prototype,
   int n = offline_tree_.num_stages();
   int tiers = offline_tree_.num_aggregator_tiers();
   CEDAR_CHECK_EQ(static_cast<int>(realization.stage_durations.size()), n);
+
+  // Lifecycle tracing: explicit sink wins, else the process-global one.
+  TraceCollector* collector =
+      options_.trace != nullptr ? options_.trace : ActiveTraceCollector();
+  QueryTraceBuilder trace(collector, realization.truth.sequence,
+                          policy_prototype.name(), "sim");
+  QueryTraceBuilder* trace_ptr = trace.active() ? &trace : nullptr;
 
   // Upper-stage quality curves: per-query when the knowledge model grants
   // it (see TreeSimulationOptions), otherwise the offline stack. Only the
@@ -55,6 +63,9 @@ QueryResult TreeSimulation::RunQuery(const WaitPolicy& policy_prototype,
       ctx.offline_tree = &offline_tree_;
       ctx.upper_quality = &(*stack)[static_cast<size_t>(tier + 1)];
       ctx.epsilon = epsilon_;
+      if (trace_ptr != nullptr) {
+        trace_ptr->RecordTierPlan(tier, offset);
+      }
       if (tier + 1 < tiers) {
         auto scratch = policy_prototype.Clone();
         scratch->BeginQuery(ctx, &realization.truth);
@@ -73,7 +84,7 @@ QueryResult TreeSimulation::RunQuery(const WaitPolicy& policy_prototype,
       auto policy = policy_prototype.Clone();
       policy->BeginQuery(contexts[static_cast<size_t>(tier)], &realization.truth);
       nodes[static_cast<size_t>(tier)][static_cast<size_t>(i)].Init(
-          tier, i, std::move(policy), &contexts[static_cast<size_t>(tier)]);
+          tier, i, std::move(policy), &contexts[static_cast<size_t>(tier)], 0.0, trace_ptr);
     }
   }
 
@@ -98,11 +109,15 @@ QueryResult TreeSimulation::RunQuery(const WaitPolicy& policy_prototype,
       }
       if (tier + 1 == tiers) {
         // Top tier: deliver to the root, subject to the deadline.
-        if (arrive_at <= deadline_) {
+        bool in_time = arrive_at <= deadline_;
+        if (in_time) {
           result.included_weight += weight;
           ++result.root_arrivals_in_time;
         } else {
           ++result.root_arrivals_late;
+        }
+        if (trace_ptr != nullptr) {
+          trace_ptr->RecordRootArrival(arrive_at, in_time);
         }
         return;
       }
@@ -137,6 +152,13 @@ QueryResult TreeSimulation::RunQuery(const WaitPolicy& policy_prototype,
 
   result.quality = result.total_weight > 0.0 ? result.included_weight / result.total_weight : 0.0;
   result.mean_tier0_send_time = tier0_sends > 0 ? tier0_send_sum / tier0_sends : 0.0;
+  if (trace_ptr != nullptr) {
+    trace_ptr->Finish(
+        std::max(queue.now(), deadline_), result.quality,
+        {TraceArg::Num("root_in_time", static_cast<double>(result.root_arrivals_in_time)),
+         TraceArg::Num("root_late", static_cast<double>(result.root_arrivals_late)),
+         TraceArg::Num("mean_tier0_send_time", result.mean_tier0_send_time)});
+  }
   return result;
 }
 

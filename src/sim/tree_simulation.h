@@ -24,6 +24,7 @@
 #include "src/core/policy.h"
 #include "src/core/quality.h"
 #include "src/core/tree.h"
+#include "src/obs/trace.h"
 #include "src/sim/realization.h"
 
 namespace cedar {
@@ -58,6 +59,11 @@ struct TreeSimulationOptions {
   // ignore the curves, so they keep using global means either way. Set to
   // false to model fully-stale upper knowledge.
   bool per_query_upper_knowledge = true;
+
+  // Query-lifecycle trace sink (borrowed, may be null). When null, RunQuery
+  // falls back to the process-global ActiveTraceCollector(); when that is
+  // also null, tracing is disabled and costs one pointer test per query.
+  TraceCollector* trace = nullptr;
 };
 
 // Shared per-(offline tree, deadline) simulation state: the offline quality

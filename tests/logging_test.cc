@@ -1,0 +1,92 @@
+#include "src/common/logging.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cedar {
+namespace {
+
+// Restores the global threshold so tests cannot leak severity changes.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetMinLogSeverity(); }
+  void TearDown() override { SetMinLogSeverity(saved_); }
+
+ private:
+  LogSeverity saved_ = LogSeverity::kInfo;
+};
+
+TEST_F(LoggingTest, ParseAcceptsNames) {
+  EXPECT_EQ(ParseLogSeverity("debug", LogSeverity::kFatal), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("info", LogSeverity::kFatal), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("warning", LogSeverity::kFatal), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("warn", LogSeverity::kFatal), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("error", LogSeverity::kFatal), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("fatal", LogSeverity::kInfo), LogSeverity::kFatal);
+}
+
+TEST_F(LoggingTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(ParseLogSeverity("DEBUG", LogSeverity::kFatal), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("Warning", LogSeverity::kFatal), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("ERROR", LogSeverity::kFatal), LogSeverity::kError);
+}
+
+TEST_F(LoggingTest, ParseAcceptsNumericLevels) {
+  EXPECT_EQ(ParseLogSeverity("0", LogSeverity::kFatal), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("1", LogSeverity::kFatal), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("2", LogSeverity::kFatal), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("3", LogSeverity::kFatal), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("4", LogSeverity::kInfo), LogSeverity::kFatal);
+}
+
+TEST_F(LoggingTest, ParseFallsBackOnBadInput) {
+  EXPECT_EQ(ParseLogSeverity(nullptr, LogSeverity::kWarning), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("", LogSeverity::kWarning), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("verbose", LogSeverity::kError), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("5", LogSeverity::kInfo), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("-1", LogSeverity::kInfo), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("debugger", LogSeverity::kInfo), LogSeverity::kInfo);
+}
+
+TEST_F(LoggingTest, ThresholdGatesLogStatements) {
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(GetMinLogSeverity(), LogSeverity::kError);
+  // A suppressed statement must not evaluate its streamed expressions.
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  CEDAR_LOG(DEBUG) << count();
+  CEDAR_LOG(INFO) << count();
+  EXPECT_EQ(evaluations, 0);
+
+  SetMinLogSeverity(LogSeverity::kDebug);
+  CEDAR_LOG(DEBUG) << "visible at debug threshold: " << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, ThresholdIsSafeToFlipConcurrently) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 1000; ++i) {
+        if (t % 2 == 0) {
+          SetMinLogSeverity(i % 2 == 0 ? LogSeverity::kInfo : LogSeverity::kWarning);
+        } else {
+          int severity = static_cast<int>(GetMinLogSeverity());
+          EXPECT_GE(severity, static_cast<int>(LogSeverity::kDebug));
+          EXPECT_LE(severity, static_cast<int>(LogSeverity::kFatal));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+}
+
+}  // namespace
+}  // namespace cedar

@@ -1,0 +1,226 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/csv.h"
+
+namespace cedar {
+namespace {
+
+TEST(CounterTest, SingleThreaded) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Increment();
+  counter.Increment(10);
+  EXPECT_EQ(counter.Value(), 11);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST(CounterTest, ShardedAcrossThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        counter.Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.Value(), static_cast<long long>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.Add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 4.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, ExactStats) {
+  Histogram histogram({0.001, 1000.0, 40});
+  EXPECT_EQ(histogram.Count(), 0);
+  for (double value : {1.0, 2.0, 3.0, 4.0}) {
+    histogram.Observe(value);
+  }
+  EXPECT_EQ(histogram.Count(), 4);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 4.0);
+}
+
+TEST(HistogramTest, QuantilesWithinEnvelope) {
+  Histogram histogram({0.01, 100.0, 60});
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Observe(static_cast<double>(i) * 0.05);  // 0.05 .. 50
+  }
+  double p50 = histogram.Quantile(0.5);
+  double p99 = histogram.Quantile(0.99);
+  // Geometric buckets estimate; exact envelope bounds always hold.
+  EXPECT_GE(p50, histogram.Min());
+  EXPECT_LE(p50, histogram.Max());
+  EXPECT_LE(p50, p99);
+  // p50 of uniform 0.05..50 is ~25; the 60-bucket log grid is coarse but
+  // should land the estimate within a bucket's relative width.
+  EXPECT_NEAR(p50, 25.0, 25.0 * 0.25);
+  EXPECT_GT(p99, 40.0);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdgeBuckets) {
+  Histogram histogram({1.0, 10.0, 5});
+  histogram.Observe(0.001);   // below min
+  histogram.Observe(1000.0);  // above max
+  EXPECT_EQ(histogram.Count(), 2);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 0.001);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 1000.0);
+  // Quantiles stay inside the exact envelope even for clamped values.
+  EXPECT_GE(histogram.Quantile(0.0), histogram.Min());
+  EXPECT_LE(histogram.Quantile(1.0), histogram.Max());
+}
+
+TEST(HistogramTest, ShardedObserveAcrossThreads) {
+  Histogram histogram({1e-3, 1e3, 50});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe(1.0 + static_cast<double>((t * kPerThread + i) % 100));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(histogram.Count(), static_cast<long long>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 100.0);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("a");
+  Counter& a_again = registry.GetCounter("a");
+  EXPECT_EQ(&a, &a_again);
+  a.Increment(3);
+  EXPECT_EQ(registry.GetCounter("a").Value(), 3);
+
+  Gauge& g = registry.GetGauge("g");
+  g.Set(1.25);
+  Histogram& h = registry.GetHistogram("h");
+  h.Observe(2.0);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].name, "a");
+  EXPECT_EQ(snapshot.counters[0].value, 3);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].value, 1.25);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].Mean(), 2.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra").Increment();
+  registry.GetCounter("alpha").Increment();
+  registry.GetCounter("mid").Increment();
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");
+  EXPECT_EQ(snapshot.counters[1].name, "mid");
+  EXPECT_EQ(snapshot.counters[2].name, "zebra");
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment(7);
+  registry.GetHistogram("h").Observe(1.0);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("c").Value(), 0);
+  EXPECT_EQ(registry.GetHistogram("h").Count(), 0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.histograms.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetAndWrite) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared").Increment();
+        registry.GetHistogram("dist").Observe(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.GetCounter("shared").Value(), kThreads * 1000);
+  EXPECT_EQ(registry.GetHistogram("dist").Count(), kThreads * 1000);
+}
+
+TEST(MetricsSnapshotTest, ReportListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("my.counter").Increment(5);
+  registry.GetGauge("my.gauge").Set(0.5);
+  registry.GetHistogram("my.histogram").Observe(3.0);
+  std::ostringstream out;
+  registry.Snapshot().WriteReport(out);
+  std::string report = out.str();
+  EXPECT_NE(report.find("my.counter"), std::string::npos);
+  EXPECT_NE(report.find("my.gauge"), std::string::npos);
+  EXPECT_NE(report.find("my.histogram"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, EmptyReportSaysSo) {
+  MetricsRegistry registry;
+  std::ostringstream out;
+  registry.Snapshot().WriteReport(out);
+  EXPECT_NE(out.str().find("no metrics recorded"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, CsvExport) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Increment(2);
+  registry.GetHistogram("h").Observe(4.0);
+  std::string path = ::testing::TempDir() + "/cedar_metrics.csv";
+  registry.Snapshot().WriteCsv(path);
+  CsvDocument doc = ReadCsvFile(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][static_cast<size_t>(doc.ColumnIndex("name"))], "c");
+  EXPECT_EQ(doc.rows[0][static_cast<size_t>(doc.ColumnIndex("kind"))], "counter");
+  EXPECT_EQ(doc.rows[1][static_cast<size_t>(doc.ColumnIndex("kind"))], "histogram");
+  EXPECT_EQ(doc.rows[1][static_cast<size_t>(doc.ColumnIndex("count"))], "1");
+}
+
+TEST(MetricsEnabledTest, DefaultsOffAndToggles) {
+  EXPECT_FALSE(MetricsEnabled());
+  SetMetricsEnabled(true);
+  EXPECT_TRUE(MetricsEnabled());
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+}
+
+}  // namespace
+}  // namespace cedar

@@ -14,6 +14,9 @@
 #include "src/core/policies.h"
 #include "src/core/policy_registry.h"
 #include "src/core/tracing_policy.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 #include "src/sim/experiment.h"
 #include "src/sim/experiment_engine.h"
 #include "src/trace/workloads.h"
@@ -109,6 +112,70 @@ TEST(ParallelExperimentTest, ClusterResultsIdenticalForAnyThreadCount) {
     EXPECT_EQ(parallel.ImprovementPercent("prop-split", "cedar"),
               serial.ImprovementPercent("prop-split", "cedar"));
   }
+}
+
+TEST(ParallelExperimentTest, SimResultsIdenticalWithInstrumentationEnabled) {
+  // The observability layer is a write-only side channel: with metrics,
+  // profiling, AND tracing all enabled, results must stay bit-identical to
+  // the uninstrumented serial run for every thread count.
+  auto workload = MakeFacebookWorkload(8, 8);
+  ProportionalSplitPolicy baseline;
+  CedarPolicy cedar;
+  std::vector<const WaitPolicy*> policies = {&baseline, &cedar};
+
+  ExperimentResult plain = RunExperiment(workload, policies, SimConfig(1));
+
+  SetMetricsEnabled(true);
+  SetProfilingEnabled(true);
+  for (int threads : {1, 2, 8}) {
+    TraceCollector collector;
+    ExperimentConfig config = SimConfig(threads);
+    config.sim.trace = &collector;
+    ExperimentResult instrumented = RunExperiment(workload, policies, config);
+    for (size_t p = 0; p < plain.outcomes.size(); ++p) {
+      ExpectSameSamples(instrumented.outcomes[p].quality, plain.outcomes[p].quality);
+      ExpectSameSamples(instrumented.outcomes[p].tier0_send_time,
+                        plain.outcomes[p].tier0_send_time);
+      EXPECT_EQ(instrumented.outcomes[p].root_arrivals_late,
+                plain.outcomes[p].root_arrivals_late);
+    }
+    EXPECT_GT(collector.size(), 0u) << "tracing was supposed to be on";
+  }
+  SetMetricsEnabled(false);
+  SetProfilingEnabled(false);
+}
+
+TEST(ParallelExperimentTest, ClusterResultsIdenticalWithInstrumentationEnabled) {
+  auto workload = MakeFacebookWorkload(6, 6);
+  CedarPolicy cedar;
+  std::vector<const WaitPolicy*> policies = {&cedar};
+
+  ClusterExperimentConfig config;
+  config.cluster.machines = 8;
+  config.cluster.slots_per_machine = 2;
+  config.deadline = 800.0;
+  config.num_queries = 12;
+  config.seed = 19;
+  config.run.speculation.enabled = true;
+
+  config.threads = 1;
+  ClusterExperimentResult plain = RunClusterExperiment(workload, policies, config);
+
+  SetMetricsEnabled(true);
+  SetProfilingEnabled(true);
+  for (int threads : {1, 2, 8}) {
+    TraceCollector collector;
+    config.threads = threads;
+    config.run.trace = &collector;
+    ClusterExperimentResult instrumented = RunClusterExperiment(workload, policies, config);
+    ExpectSameSamples(instrumented.Outcome("cedar").quality, plain.Outcome("cedar").quality);
+    EXPECT_EQ(instrumented.total_clones_launched, plain.total_clones_launched);
+    EXPECT_EQ(instrumented.total_clones_won, plain.total_clones_won);
+    EXPECT_GT(collector.size(), 0u);
+  }
+  config.run.trace = nullptr;
+  SetMetricsEnabled(false);
+  SetProfilingEnabled(false);
 }
 
 TEST(ParallelExperimentTest, PairedSamplesStayAlignedAcrossPolicies) {

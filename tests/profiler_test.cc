@@ -1,0 +1,134 @@
+#include "src/obs/profiler.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cedar {
+namespace {
+
+// Restores the global profiling switch and counters around each test.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetProfilingEnabled(false);
+    ResetProfile();
+  }
+  void TearDown() override {
+    SetProfilingEnabled(false);
+    ResetProfile();
+  }
+};
+
+ProfileSample FindSample(const std::string& name) {
+  for (const ProfileSample& sample : CollectProfileSamples()) {
+    if (sample.name == name) {
+      return sample;
+    }
+  }
+  return {};
+}
+
+TEST_F(ProfilerTest, DisabledScopeRecordsNothing) {
+  static ProfileSite site("test.disabled_site");
+  {
+    ScopedProfileTimer timer(site);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(site.calls(), 0);
+  EXPECT_EQ(site.total_ns(), 0);
+  EXPECT_TRUE(FindSample("test.disabled_site").name.empty());
+}
+
+TEST_F(ProfilerTest, EnabledScopeRecordsElapsedTime) {
+  static ProfileSite site("test.enabled_site");
+  SetProfilingEnabled(true);
+  {
+    ScopedProfileTimer timer(site);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(site.calls(), 1);
+  EXPECT_GE(site.total_ns(), 1'000'000);  // slept >= 2 ms; allow coarse clocks
+  EXPECT_GE(site.max_ns(), site.total_ns() / site.calls());
+
+  ProfileSample sample = FindSample("test.enabled_site");
+  EXPECT_EQ(sample.calls, 1);
+  EXPECT_EQ(sample.total_ns, site.total_ns());
+  EXPECT_DOUBLE_EQ(sample.MeanNs(), static_cast<double>(sample.total_ns));
+}
+
+TEST_F(ProfilerTest, EnabledStateIsLatchedAtScopeEntry) {
+  static ProfileSite site("test.latched_site");
+  SetProfilingEnabled(false);
+  {
+    ScopedProfileTimer timer(site);
+    // Flipping the switch mid-scope must not make a disabled timer record.
+    SetProfilingEnabled(true);
+  }
+  EXPECT_EQ(site.calls(), 0);
+}
+
+TEST_F(ProfilerTest, MacroDeclaresAndTimesASite) {
+  SetProfilingEnabled(true);
+  for (int i = 0; i < 3; ++i) {
+    CEDAR_PROFILE_SCOPE("test.macro_site");
+  }
+  ProfileSample sample = FindSample("test.macro_site");
+  EXPECT_EQ(sample.calls, 3);
+  EXPECT_GE(sample.max_ns, 0);
+}
+
+TEST_F(ProfilerTest, ConcurrentRecordingIsLossless) {
+  static ProfileSite site("test.concurrent_site");
+  SetProfilingEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedProfileTimer timer(site);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(site.calls(), kThreads * kPerThread);
+  EXPECT_GE(site.total_ns(), 0);
+  EXPECT_GE(site.max_ns(), 0);
+}
+
+TEST_F(ProfilerTest, SamplesSortedByTotalTimeDescending) {
+  static ProfileSite slow("test.sort_slow");
+  static ProfileSite fast("test.sort_fast");
+  SetProfilingEnabled(true);
+  slow.Record(5'000'000);
+  fast.Record(1'000);
+  std::vector<ProfileSample> samples = CollectProfileSamples();
+  ASSERT_GE(samples.size(), 2u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i - 1].total_ns, samples[i].total_ns);
+  }
+}
+
+TEST_F(ProfilerTest, ReportListsSitesAndResetClears) {
+  static ProfileSite site("test.report_site");
+  SetProfilingEnabled(true);
+  site.Record(42'000);
+  std::ostringstream out;
+  WriteProfileReport(out);
+  EXPECT_NE(out.str().find("test.report_site"), std::string::npos);
+
+  ResetProfile();
+  EXPECT_EQ(site.calls(), 0);
+  std::ostringstream empty_out;
+  WriteProfileReport(empty_out);
+  EXPECT_NE(empty_out.str().find("no profile samples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cedar

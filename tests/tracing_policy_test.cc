@@ -86,6 +86,83 @@ TEST(TracingPolicyTest, NameAndBehaviourDelegate) {
   EXPECT_EQ(recorder.size(), 2u);
 }
 
+TEST(TracingPolicyTest, ForkedWorkersShareOneRecorder) {
+  // The parallel engine forks a detached replica per worker; the recorder is
+  // deliberately shared, so a multi-threaded run lands in one trace with no
+  // records lost. Compare against a serial run of the same experiment.
+  StationaryWorkload workload = SmallWorkload();
+  auto run = [&workload](int threads) {
+    DecisionRecorder recorder;
+    TracingPolicy traced(std::make_unique<CedarPolicy>(), &recorder);
+    ExperimentConfig config;
+    config.deadline = 60.0;
+    config.num_queries = 8;
+    config.seed = 77;
+    config.threads = threads;
+    RunExperiment(workload, {&traced}, config);
+    return recorder.Snapshot();
+  };
+
+  auto serial = run(1);
+  auto parallel = run(4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial.size(), parallel.size());
+
+  // Cross-query record order follows scheduling, but each query's decision
+  // stream must be identical once grouped by sequence.
+  std::set<uint64_t> sequences;
+  for (const auto& record : serial) {
+    sequences.insert(record.query_sequence);
+  }
+  EXPECT_EQ(sequences.size(), 8u);
+  for (uint64_t sequence : sequences) {
+    auto lhs = [&serial, sequence] {
+      std::vector<WaitDecisionRecord> out;
+      for (const auto& r : serial) {
+        if (r.query_sequence == sequence) out.push_back(r);
+      }
+      return out;
+    }();
+    auto rhs = [&parallel, sequence] {
+      std::vector<WaitDecisionRecord> out;
+      for (const auto& r : parallel) {
+        if (r.query_sequence == sequence) out.push_back(r);
+      }
+      return out;
+    }();
+    ASSERT_EQ(lhs.size(), rhs.size()) << "query " << sequence;
+    for (size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].tier, rhs[i].tier);
+      EXPECT_EQ(lhs[i].arrivals, rhs[i].arrivals);
+      EXPECT_DOUBLE_EQ(lhs[i].at_time, rhs[i].at_time);
+      EXPECT_DOUBLE_EQ(lhs[i].wait, rhs[i].wait);
+    }
+  }
+}
+
+TEST(TracingPolicyTest, ForQueryPreservesRecordOrder) {
+  DecisionRecorder recorder;
+  // Interleave two queries; ForQuery must return each query's records in
+  // insertion order.
+  recorder.Record({1, 0, 0, 0.0, 10.0});
+  recorder.Record({2, 0, 0, 0.0, 20.0});
+  recorder.Record({1, 0, 1, 2.0, 11.0});
+  recorder.Record({2, 0, 1, 3.0, 21.0});
+  recorder.Record({1, 0, 2, 4.0, 12.0});
+
+  auto q1 = recorder.ForQuery(1);
+  ASSERT_EQ(q1.size(), 3u);
+  EXPECT_EQ(q1[0].arrivals, 0);
+  EXPECT_EQ(q1[1].arrivals, 1);
+  EXPECT_EQ(q1[2].arrivals, 2);
+  EXPECT_DOUBLE_EQ(q1[2].wait, 12.0);
+
+  auto q2 = recorder.ForQuery(2);
+  ASSERT_EQ(q2.size(), 2u);
+  EXPECT_DOUBLE_EQ(q2[0].wait, 20.0);
+  EXPECT_DOUBLE_EQ(q2[1].wait, 21.0);
+}
+
 TEST(TracingPolicyTest, ClearAndCsvRoundTrip) {
   DecisionRecorder recorder;
   recorder.Record({7, 0, 3, 1.25, 42.0});

@@ -20,6 +20,7 @@
 #include "src/common/logging.h"
 #include "src/common/table.h"
 #include "src/core/policy_registry.h"
+#include "src/obs/obs_flags.h"
 #include "src/sim/experiment.h"
 #include "src/trace/workloads.h"
 
@@ -67,7 +68,9 @@ int main(int argc, char** argv) {
   int64_t* threads = flags.AddInt(
       "threads", 0, "experiment worker threads (0 = one per hardware thread)");
   std::string* csv_path = flags.AddString("csv", "", "also write results to this CSV file");
+  ObservabilityFlags obs = AddObservabilityFlags(flags);
   flags.Parse(argc, argv);
+  ObservabilityScope obs_scope = InitObservability(obs);
 
   auto workload =
       MakeWorkloadByName(*workload_name, static_cast<int>(*k1), static_cast<int>(*k2));
@@ -150,5 +153,6 @@ int main(int argc, char** argv) {
   if (csv != nullptr) {
     std::cout << "results written to " << *csv_path << "\n";
   }
+  FinishObservability(obs, obs_scope, std::cout);
   return 0;
 }
