@@ -1,12 +1,26 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
+#include <memory>
 #include <ostream>
 
 #include "src/common/logging.h"
 #include "src/common/table.h"
+#include "src/common/thread_pool.h"
 
 namespace cedar {
 namespace {
+
+// One worker pool for the whole sweep: constructing (and joining) a pool per
+// RunExperiment call wasted a thread spawn/teardown per deadline. Returns
+// null when the sweep would run serially anyway.
+std::unique_ptr<ThreadPool> MakeSweepPool(int requested_threads, int num_queries) {
+  const int threads = std::min(ResolveThreadCount(requested_threads), std::max(num_queries, 1));
+  if (threads <= 1) {
+    return nullptr;
+  }
+  return std::make_unique<ThreadPool>(threads);
+}
 
 std::vector<std::string> SweepColumns(const std::vector<const WaitPolicy*>& policies,
                                       const std::string& baseline, const std::string& unit) {
@@ -54,6 +68,7 @@ void RunDeadlineSweep(std::ostream& out, const std::string& title, const Workloa
   out << "workload=" << workload.name() << " unit=" << workload.time_unit()
       << " queries=" << options.num_queries << " seed=" << options.seed << "\n";
 
+  std::unique_ptr<ThreadPool> pool = MakeSweepPool(options.threads, options.num_queries);
   TablePrinter table(SweepColumns(policies, baseline, workload.time_unit()));
   for (double deadline : deadlines) {
     ExperimentConfig config;
@@ -61,6 +76,7 @@ void RunDeadlineSweep(std::ostream& out, const std::string& title, const Workloa
     config.num_queries = options.num_queries;
     config.seed = options.seed;
     config.threads = options.threads;
+    config.pool = pool.get();
     config.sim = options.sim;
     ExperimentResult result = RunExperiment(workload, policies, config);
     table.AddRow(SweepRow(deadline, policies, baseline, [&](const std::string& name) {
@@ -83,6 +99,7 @@ void RunClusterDeadlineSweep(std::ostream& out, const std::string& title,
       << " cluster=" << options.cluster.machines << "x" << options.cluster.slots_per_machine
       << " slots, queries=" << options.num_queries << " seed=" << options.seed << "\n";
 
+  std::unique_ptr<ThreadPool> pool = MakeSweepPool(options.threads, options.num_queries);
   TablePrinter table(SweepColumns(policies, baseline, workload.time_unit()));
   for (double deadline : deadlines) {
     ClusterExperimentConfig config;
@@ -91,6 +108,7 @@ void RunClusterDeadlineSweep(std::ostream& out, const std::string& title,
     config.num_queries = options.num_queries;
     config.seed = options.seed;
     config.threads = options.threads;
+    config.pool = pool.get();
     config.run = options.run;
     ClusterExperimentResult result = RunClusterExperiment(workload, policies, config);
     table.AddRow(SweepRow(deadline, policies, baseline, [&](const std::string& name) {

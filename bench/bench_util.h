@@ -6,6 +6,8 @@
 #ifndef CEDAR_BENCH_BENCH_UTIL_H_
 #define CEDAR_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
 #include <memory>
 #include <string>

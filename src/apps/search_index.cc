@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 
 #include "src/common/logging.h"
@@ -55,7 +56,10 @@ SearchIndex::SearchIndex(const CorpusSpec& spec, int num_shards) : spec_(spec) {
 
   Rng rng(spec.seed);
   ZipfSampler zipf(spec.vocabulary_size, spec.zipf_exponent);
-  std::unordered_map<int, int32_t> term_counts;
+  // Ordered map: posting lists and document frequencies are insensitive to
+  // the iteration order below, but keeping it deterministic is free here
+  // (index construction, bounded by terms_per_document).
+  std::map<int, int32_t> term_counts;
   for (int64_t doc = 0; doc < spec.num_documents; ++doc) {
     term_counts.clear();
     for (int t = 0; t < spec.terms_per_document; ++t) {
@@ -119,7 +123,9 @@ std::vector<SearchHit> SearchShard::TopK(const std::vector<int>& query, int k,
   }
   std::vector<SearchHit> hits;
   hits.reserve(scores.size());
-  for (const auto& [position, score] : scores) {
+  // HitLess below is a total order (score, then doc_id), so the unordered
+  // visit order cannot reach the truncated output.
+  for (const auto& [position, score] : scores) {  // cedar-lint: allow(unordered-iter)
     hits.push_back({doc_ids_[static_cast<size_t>(position)], score});
   }
   std::sort(hits.begin(), hits.end(), HitLess);
@@ -142,7 +148,8 @@ std::vector<SearchHit> MergeTopK(const std::vector<std::vector<SearchHit>>& list
   }
   std::vector<SearchHit> merged;
   merged.reserve(best.size());
-  for (const auto& [doc_id, score] : best) {
+  // Total-order sort (HitLess) below; see SearchShard::TopK.
+  for (const auto& [doc_id, score] : best) {  // cedar-lint: allow(unordered-iter)
     merged.push_back({doc_id, score});
   }
   std::sort(merged.begin(), merged.end(), HitLess);

@@ -21,6 +21,7 @@
 #ifndef CEDAR_SRC_CLUSTER_CLUSTER_RUNTIME_H_
 #define CEDAR_SRC_CLUSTER_CLUSTER_RUNTIME_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

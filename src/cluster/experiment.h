@@ -6,6 +6,7 @@
 #ifndef CEDAR_SRC_CLUSTER_EXPERIMENT_H_
 #define CEDAR_SRC_CLUSTER_EXPERIMENT_H_
 
+#include <initializer_list>
 #include <memory>
 #include <vector>
 

@@ -11,6 +11,7 @@
 #ifndef CEDAR_SRC_CLUSTER_LOADED_RUNTIME_H_
 #define CEDAR_SRC_CLUSTER_LOADED_RUNTIME_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

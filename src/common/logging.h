@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <iosfwd>
 #include <sstream>
 #include <string>
 

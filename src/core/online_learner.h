@@ -12,6 +12,7 @@
 #ifndef CEDAR_SRC_CORE_ONLINE_LEARNER_H_
 #define CEDAR_SRC_CORE_ONLINE_LEARNER_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 

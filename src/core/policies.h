@@ -20,8 +20,11 @@
 #ifndef CEDAR_SRC_CORE_POLICIES_H_
 #define CEDAR_SRC_CORE_POLICIES_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "src/core/online_learner.h"
 #include "src/core/policy.h"
@@ -30,7 +33,9 @@
 
 namespace cedar {
 
-class FixedWaitPolicy final : public WaitPolicy {
+// Stateless between queries: Clone() shares nothing mutable, so the default
+// ForkForWorker (= Clone) is already detached.
+class FixedWaitPolicy final : public WaitPolicy {  // cedar-lint: allow(fork-override)
  public:
   explicit FixedWaitPolicy(double absolute_wait);
 
@@ -44,7 +49,8 @@ class FixedWaitPolicy final : public WaitPolicy {
   double absolute_wait_;
 };
 
-class EqualSplitPolicy final : public WaitPolicy {
+// Stateless; default fork is detached (see FixedWaitPolicy).
+class EqualSplitPolicy final : public WaitPolicy {  // cedar-lint: allow(fork-override)
  public:
   std::string name() const override { return "equal-split"; }
   std::unique_ptr<WaitPolicy> Clone() const override;
@@ -53,7 +59,8 @@ class EqualSplitPolicy final : public WaitPolicy {
   double InitialWait(const AggregatorContext& ctx) override;
 };
 
-class ProportionalSplitPolicy final : public WaitPolicy {
+// Stateless; default fork is detached (see FixedWaitPolicy).
+class ProportionalSplitPolicy final : public WaitPolicy {  // cedar-lint: allow(fork-override)
  public:
   std::string name() const override { return "prop-split"; }
   std::unique_ptr<WaitPolicy> Clone() const override;
@@ -62,7 +69,8 @@ class ProportionalSplitPolicy final : public WaitPolicy {
   double InitialWait(const AggregatorContext& ctx) override;
 };
 
-class MeanSubtractPolicy final : public WaitPolicy {
+// Stateless; default fork is detached (see FixedWaitPolicy).
+class MeanSubtractPolicy final : public WaitPolicy {  // cedar-lint: allow(fork-override)
  public:
   std::string name() const override { return "mean-subtract"; }
   std::unique_ptr<WaitPolicy> Clone() const override;
@@ -71,7 +79,8 @@ class MeanSubtractPolicy final : public WaitPolicy {
   double InitialWait(const AggregatorContext& ctx) override;
 };
 
-class OfflineOptimalPolicy final : public WaitPolicy {
+// Stateless; default fork is detached (see FixedWaitPolicy).
+class OfflineOptimalPolicy final : public WaitPolicy {  // cedar-lint: allow(fork-override)
  public:
   std::string name() const override { return "cedar-offline"; }
   std::unique_ptr<WaitPolicy> Clone() const override;

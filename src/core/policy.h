@@ -11,6 +11,7 @@
 #ifndef CEDAR_SRC_CORE_POLICY_H_
 #define CEDAR_SRC_CORE_POLICY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -7,6 +7,7 @@
 #ifndef CEDAR_SRC_CORE_TRACING_POLICY_H_
 #define CEDAR_SRC_CORE_TRACING_POLICY_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 #include <vector>
+#include <utility>
 
 #include "src/stats/distribution.h"
 

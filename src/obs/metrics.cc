@@ -259,7 +259,8 @@ void MetricsSnapshot::WriteCsv(const std::string& path) const {
 // ---- MetricsRegistry ----
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // intentionally leaked
+  // Intentionally leaked process singleton (no destruction-order hazards).
+  static MetricsRegistry* registry = new MetricsRegistry();  // cedar-lint: allow(raw-new)
   return *registry;
 }
 

@@ -19,7 +19,8 @@ struct SiteRegistry {
 };
 
 SiteRegistry& Registry() {
-  static SiteRegistry* registry = new SiteRegistry();  // intentionally leaked
+  // Intentionally leaked process singleton (no destruction-order hazards).
+  static SiteRegistry* registry = new SiteRegistry();  // cedar-lint: allow(raw-new)
   return *registry;
 }
 

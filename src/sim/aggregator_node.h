@@ -7,6 +7,7 @@
 #define CEDAR_SRC_SIM_AGGREGATOR_NODE_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <utility>

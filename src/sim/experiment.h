@@ -9,6 +9,8 @@
 #ifndef CEDAR_SRC_SIM_EXPERIMENT_H_
 #define CEDAR_SRC_SIM_EXPERIMENT_H_
 
+#include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +22,8 @@
 
 namespace cedar {
 
+class ThreadPool;
+
 // Knobs shared by every experiment driver (analytic simulator, cluster
 // engine): the concrete configs below and ClusterExperimentConfig extend it
 // with engine-specific options.
@@ -30,6 +34,12 @@ struct ExperimentDriverConfig {
   // Worker threads for the parallel engine: n >= 1 runs exactly n workers,
   // <= 0 means one per hardware thread. Results are identical either way.
   int threads = 0;
+  // Optional externally owned worker pool. When set, the driver runs on it
+  // (ignoring |threads|) instead of constructing a pool per call — sweeps
+  // reuse one pool across all their deadlines (see RunDeadlineSweep). The
+  // pool is borrowed: the caller keeps ownership and the driver leaves it
+  // reusable. Results are bit-identical with or without it.
+  ThreadPool* pool = nullptr;
 };
 
 struct ExperimentConfig : ExperimentDriverConfig {

@@ -25,6 +25,7 @@
 #define CEDAR_SRC_SIM_EXPERIMENT_ENGINE_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
@@ -93,26 +94,37 @@ std::vector<Row> RunExperimentGrid(const Workload& workload, const TreeSpec& off
     }
   };
 
-  int threads = std::min<long long>(ResolveThreadCount(config.threads), num_queries);
+  const int pool_threads =
+      config.pool != nullptr ? config.pool->num_threads() : ResolveThreadCount(config.threads);
+  const int threads = static_cast<int>(std::min<long long>(pool_threads, num_queries));
   if (threads <= 1) {
     // Inline serial path: same seeding, same merge order — and no worker
     // threads, which keeps gtest death tests and TSan-free builds quiet.
     run_chunk(0, num_queries, 0);
     return grid;
   }
-  ThreadPool pool(threads);
-  // A few chunks per worker gives the stealing deques something to balance
-  // when query costs are skewed (e.g. Oracle planning on heavy-tail draws).
-  ParallelForChunks(pool, num_queries, threads * 4, run_chunk);
-  if (MetricsEnabled()) {
-    // Scheduling counters, exported after the barrier so they never touch
-    // the workers' hot path.
-    ThreadPool::Stats stats = pool.GetStats();
-    MetricsRegistry& registry = MetricsRegistry::Global();
-    registry.GetCounter("pool.tasks_submitted").Increment(stats.submitted);
-    registry.GetCounter("pool.tasks_executed_local").Increment(stats.executed_local);
-    registry.GetCounter("pool.tasks_stolen").Increment(stats.stolen);
-    registry.GetCounter("pool.idle_waits").Increment(stats.idle_waits);
+  auto run_on_pool = [&](ThreadPool& pool) {
+    // Borrowed pools accumulate counters across calls, so export the delta
+    // of this run only; post-barrier, never on the workers' hot path.
+    const ThreadPool::Stats before = pool.GetStats();
+    // A few chunks per worker gives the stealing deques something to balance
+    // when query costs are skewed (e.g. Oracle planning on heavy-tail draws).
+    ParallelForChunks(pool, num_queries, threads * 4, run_chunk);
+    if (MetricsEnabled()) {
+      const ThreadPool::Stats after = pool.GetStats();
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      registry.GetCounter("pool.tasks_submitted").Increment(after.submitted - before.submitted);
+      registry.GetCounter("pool.tasks_executed_local")
+          .Increment(after.executed_local - before.executed_local);
+      registry.GetCounter("pool.tasks_stolen").Increment(after.stolen - before.stolen);
+      registry.GetCounter("pool.idle_waits").Increment(after.idle_waits - before.idle_waits);
+    }
+  };
+  if (config.pool != nullptr) {
+    run_on_pool(*config.pool);
+  } else {
+    ThreadPool pool(threads);
+    run_on_pool(pool);
   }
   return grid;
 }

@@ -10,7 +10,9 @@
 #ifndef CEDAR_SRC_SIM_WORKLOAD_H_
 #define CEDAR_SRC_SIM_WORKLOAD_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 
 #include "src/core/policy.h"
 #include "src/core/tree.h"

@@ -12,6 +12,7 @@
 #define CEDAR_SRC_STATS_MIXTURE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/stats/distribution.h"

@@ -25,6 +25,7 @@
 #ifndef CEDAR_SRC_STATS_ORDER_STATISTICS_H_
 #define CEDAR_SRC_STATS_ORDER_STATISTICS_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

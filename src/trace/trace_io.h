@@ -6,6 +6,7 @@
 #ifndef CEDAR_SRC_TRACE_TRACE_IO_H_
 #define CEDAR_SRC_TRACE_TRACE_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,0 +1,40 @@
+// Fixture: fork-override rule. A miniature WaitPolicy hierarchy; the real
+// one lives in src/core.
+#include <memory>
+
+class WaitPolicy {
+ public:
+  virtual ~WaitPolicy() = default;
+  virtual std::unique_ptr<WaitPolicy> ForkForWorker() const;
+};
+
+class BadPolicy final : public WaitPolicy {  // line 11: fires
+ public:
+  int state = 0;
+};
+
+class GoodPolicy final : public WaitPolicy {
+ public:
+  std::unique_ptr<WaitPolicy> ForkForWorker() const override;
+};
+
+class MidPolicy : public GoodPolicy {
+ public:
+  std::unique_ptr<WaitPolicy> ForkForWorker() const override;
+};
+
+class BadGrandchild final : public MidPolicy {  // line 26: fires (transitive)
+ public:
+  int state = 0;
+};
+
+// Stateless; the default fork (Clone) is detached.
+class AllowedPolicy final : public WaitPolicy {  // cedar-lint: allow(fork-override)
+ public:
+  int state = 0;
+};
+
+class NotAPolicy {
+ public:
+  int state = 0;
+};

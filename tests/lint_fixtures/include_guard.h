@@ -1,0 +1,9 @@
+// Fixture: include-guard rule — guard does not match the canonical
+// CEDAR_<PATH>_H_ name for the virtual path the test registers it under.
+
+#ifndef SOME_RANDOM_GUARD_H_  // fires
+#define SOME_RANDOM_GUARD_H_
+
+int Value();
+
+#endif  // SOME_RANDOM_GUARD_H_

@@ -1,0 +1,6 @@
+// Fixture: include-guard rule, suppressed file-wide.
+// cedar-lint: allow-file(include-guard)
+
+#pragma GCC system_header
+
+int Value();

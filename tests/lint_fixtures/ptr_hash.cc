@@ -1,0 +1,16 @@
+// Fixture: ptr-hash rule.
+#include <cstdint>
+#include <functional>
+
+uint64_t Violation(const void* curve) {
+  return reinterpret_cast<uintptr_t>(curve);  // line 6: fires
+}
+
+size_t AlsoViolation(int* p) {
+  return std::hash<int*>()(p);  // line 10: fires
+}
+
+uint64_t Allowed(const void* curve) {
+  // Cache key is re-validated by content before reuse (see CedarPolicy).
+  return reinterpret_cast<uintptr_t>(curve);  // cedar-lint: allow(ptr-hash)
+}

@@ -1,0 +1,20 @@
+// Fixture: raw-new rule (applies under src/ only).
+
+int* Violation() {
+  return new int(7);  // line 4: fires
+}
+
+void AlsoViolation(int* p) {
+  delete p;  // line 8: fires
+}
+
+class NotAViolation {
+ public:
+  NotAViolation(const NotAViolation&) = delete;  // deleted function, not operator delete
+  NotAViolation& operator=(const NotAViolation&) = delete;
+};
+
+int* Allowed() {
+  // Intentionally leaked process singleton.
+  return new int(7);  // cedar-lint: allow(raw-new)
+}

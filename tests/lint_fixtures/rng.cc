@@ -1,0 +1,18 @@
+// Fixture: rng rule.
+#include <cstdlib>
+#include <random>
+
+int Violation() {
+  return rand();  // line 6: fires
+}
+
+int AlsoViolation() {
+  std::mt19937 engine;  // line 10: fires (unseeded std engine)
+  return static_cast<int>(engine());
+}
+
+int Allowed() {
+  // Seeding the comparison oracle for the Rng unit test.
+  std::random_device device;  // cedar-lint: allow(rng)
+  return static_cast<int>(device());
+}

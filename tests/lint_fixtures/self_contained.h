@@ -1,0 +1,11 @@
+// Fixture: self-contained rule — uses std::string and std::vector but
+// includes neither provider directly.
+
+#ifndef CEDAR_SRC_CORE_SELF_CONTAINED_FIXTURE_H_
+#define CEDAR_SRC_CORE_SELF_CONTAINED_FIXTURE_H_
+
+#include "src/core/policy.h"
+
+std::string Describe(const std::vector<int>& values);  // fires (string and vector)
+
+#endif  // CEDAR_SRC_CORE_SELF_CONTAINED_FIXTURE_H_

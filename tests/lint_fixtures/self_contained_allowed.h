@@ -1,0 +1,12 @@
+// Fixture: self-contained rule, suppressed file-wide (a header that fronts
+// a generated amalgamation, say).
+// cedar-lint: allow-file(self-contained)
+
+#ifndef CEDAR_SRC_CORE_SELF_CONTAINED_ALLOWED_FIXTURE_H_
+#define CEDAR_SRC_CORE_SELF_CONTAINED_ALLOWED_FIXTURE_H_
+
+#include "src/core/policy.h"
+
+std::string Describe(const std::vector<int>& values);
+
+#endif  // CEDAR_SRC_CORE_SELF_CONTAINED_ALLOWED_FIXTURE_H_

@@ -1,0 +1,15 @@
+// Fixture: stdout rule (applies under src/ only).
+#include <iostream>
+
+void Violation() {
+  std::cout << "progress\n";  // line 5: fires
+}
+
+void Allowed() {
+  // The one sanctioned startup banner.
+  std::cout << "banner\n";  // cedar-lint: allow(stdout)
+}
+
+const char* NotAViolation() {
+  return "std::cout and printf( only appear in this string";
+}

@@ -1,0 +1,21 @@
+// Fixture: unordered-iter rule.
+#include <unordered_map>
+
+double Violation() {
+  std::unordered_map<int, double> totals;
+  double sum = 0.0;
+  for (const auto& entry : totals) {  // line 8: fires
+    sum += entry.second;
+  }
+  return sum;
+}
+
+double Allowed() {
+  std::unordered_map<int, double> totals;
+  double sum = 0.0;
+  // Sum is commutative here and never formatted.
+  for (const auto& entry : totals) {  // cedar-lint: allow(unordered-iter)
+    sum += entry.second;
+  }
+  return sum;
+}

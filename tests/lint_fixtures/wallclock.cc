@@ -1,0 +1,18 @@
+// Fixture: wallclock rule. Never compiled; scanned by lint_test under a
+// virtual src/ path.
+#include <chrono>
+
+double Violation() {
+  auto now = std::chrono::system_clock::now();  // line 6: fires
+  return static_cast<double>(now.time_since_epoch().count());
+}
+
+double Allowed() {
+  // One-off startup stamp, never reaches experiment results.
+  auto now = std::chrono::steady_clock::now();  // cedar-lint: allow(wallclock)
+  return static_cast<double>(now.time_since_epoch().count());
+}
+
+const char* NotAViolation() {
+  return "calls system_clock in a string literal and time( in a comment";
+}

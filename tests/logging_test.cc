@@ -68,6 +68,66 @@ TEST_F(LoggingTest, ThresholdGatesLogStatements) {
   EXPECT_EQ(evaluations, 1);
 }
 
+// CEDAR_CHECK* failure paths: the process must abort and the fatal message
+// must carry both the stringified condition and the streamed operands, or
+// postmortems lose the one clue they get. "threadsafe" style re-execs the
+// death-test child so the fork is safe despite this binary's threaded tests.
+class LoggingDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(LoggingDeathTest, CheckAbortsWithConditionAndStreamedMessage) {
+  int connections = -3;
+  EXPECT_DEATH(CEDAR_CHECK(connections >= 0) << "connections=" << connections,
+               "Check failed: connections >= 0 .*connections=-3");
+}
+
+TEST_F(LoggingDeathTest, CheckEqAbortsWithBothOperands) {
+  int want = 4;
+  int got = 9;
+  EXPECT_DEATH(CEDAR_CHECK_EQ(want, got) << "while merging shards",
+               "Check failed: .*\\(4 vs 9\\) while merging shards");
+}
+
+TEST_F(LoggingDeathTest, CheckComparisonsAbortWithOperands) {
+  EXPECT_DEATH(CEDAR_CHECK_NE(5, 5), "\\(5 vs 5\\)");
+  EXPECT_DEATH(CEDAR_CHECK_LT(2.5, 1.5), "\\(2.5 vs 1.5\\)");
+  EXPECT_DEATH(CEDAR_CHECK_LE(3, 2), "\\(3 vs 2\\)");
+  EXPECT_DEATH(CEDAR_CHECK_GT(1, 2), "\\(1 vs 2\\)");
+  EXPECT_DEATH(CEDAR_CHECK_GE(-1, 0), "\\(-1 vs 0\\)");
+}
+
+TEST_F(LoggingDeathTest, CheckNearAbortsWithOperands) {
+  EXPECT_DEATH(CEDAR_CHECK_NEAR(1.0, 2.0, 0.25), "\\(1 vs 2\\)");
+}
+
+TEST_F(LoggingDeathTest, LogFatalAborts) {
+  EXPECT_DEATH(CEDAR_LOG(FATAL) << "unreachable state " << 17, "unreachable state 17");
+}
+
+TEST_F(LoggingDeathTest, FatalIgnoresSeverityThreshold) {
+  // Even a threshold above every level cannot swallow FATAL: the severity
+  // enum tops out at kFatal, so FATAL statements always flush and abort.
+  SetMinLogSeverity(LogSeverity::kFatal);
+  EXPECT_DEATH(CEDAR_LOG(FATAL) << "still fatal", "still fatal");
+  SetMinLogSeverity(LogSeverity::kInfo);
+}
+
+TEST_F(LoggingDeathTest, PassingChecksDoNotAbortAndSkipStreaming) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  CEDAR_CHECK(true) << "never evaluated: " << count();
+  CEDAR_CHECK_EQ(2, 2) << count();
+  CEDAR_CHECK_NEAR(1.0, 1.0, 1e-12) << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
 TEST_F(LoggingTest, ThresholdIsSafeToFlipConcurrently) {
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {

@@ -67,6 +67,36 @@ TEST(ParallelExperimentTest, SimResultsIdenticalForAnyThreadCount) {
   }
 }
 
+TEST(ParallelExperimentTest, ReusedSweepPoolIsBitIdenticalToPerCallPools) {
+  // RunDeadlineSweep shares one ThreadPool across all deadlines of a sweep
+  // via ExperimentDriverConfig::pool; reuse must change nothing but
+  // wall-clock, including back-to-back runs on the same (dirty) pool.
+  auto workload = MakeFacebookWorkload(8, 8);
+  ProportionalSplitPolicy baseline;
+  CedarPolicy cedar;
+  std::vector<const WaitPolicy*> policies = {&baseline, &cedar};
+
+  ThreadPool shared_pool(4);
+  for (double deadline : {400.0, 800.0}) {
+    ExperimentConfig fresh = SimConfig(4, 24, deadline);
+    ExperimentResult per_call = RunExperiment(workload, policies, fresh);
+
+    ExperimentConfig reused = SimConfig(1, 24, deadline);
+    reused.pool = &shared_pool;  // pool takes precedence over threads
+    ExperimentResult pooled = RunExperiment(workload, policies, reused);
+
+    ASSERT_EQ(pooled.outcomes.size(), per_call.outcomes.size());
+    for (size_t p = 0; p < per_call.outcomes.size(); ++p) {
+      ExpectSameSamples(pooled.outcomes[p].quality, per_call.outcomes[p].quality);
+      ExpectSameSamples(pooled.outcomes[p].tier0_send_time,
+                        per_call.outcomes[p].tier0_send_time);
+    }
+  }
+  // The borrowed pool stays usable after the driver returns.
+  EXPECT_EQ(shared_pool.num_threads(), 4);
+  EXPECT_GT(shared_pool.GetStats().submitted, 0);
+}
+
 TEST(ParallelExperimentTest, WaitTableCacheIsDetachedAcrossWorkers) {
   // use_wait_table shares a mutable table cache across Clone()s; worker
   // forks must detach it. Identical results at 1 and 8 threads prove the

@@ -18,6 +18,7 @@
 #include "src/common/table.h"
 #include "src/core/dual.h"
 #include "src/core/wait_optimizer.h"
+#include "src/obs/obs_flags.h"
 
 namespace {
 
@@ -57,7 +58,12 @@ int main(int argc, char** argv) {
   double* target = flags.AddDouble("target_quality", 0.0,
                                    "if > 0, also solve min deadline for this quality");
   int64_t* curve_points = flags.AddInt("curve_points", 12, "points of q_n(d) to print");
+  ObservabilityFlags obs = AddObservabilityFlags(flags);
   flags.Parse(argc, argv);
+  // --metrics-report exposes the CEDAR_PROFILE_SCOPE timings of the wait
+  // optimizer / curve stack this tool exercises; --trace-out is accepted for
+  // interface parity (planning alone emits no query-lifecycle spans).
+  ObservabilityScope obs_scope = InitObservability(obs);
 
   TreeSpec tree = ParseStages(*stages_text);
   PrintBanner(std::cout, "cedar_plan: " + tree.ToString());
@@ -93,5 +99,6 @@ int main(int argc, char** argv) {
       std::cout << "target " << *target << " unreachable within " << 100.0 * *deadline << "\n";
     }
   }
+  FinishObservability(obs, obs_scope, std::cout);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "src/common/logging.h"
 #include "src/common/histogram.h"
 #include "src/common/table.h"
+#include "src/obs/obs_flags.h"
 #include "src/stats/fitting.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/workloads.h"
@@ -95,7 +96,9 @@ int main(int argc, char** argv) {
   int64_t* seed = flags.AddInt("seed", 42, "rng seed");
   std::string* out = flags.AddString("out", "/tmp/cedar_trace.csv", "output path (generate)");
   std::string* in = flags.AddString("in", "/tmp/cedar_trace.csv", "input path (inspect)");
+  ObservabilityFlags obs = AddObservabilityFlags(flags);
   flags.Parse(argc, argv);
+  ObservabilityScope obs_scope = InitObservability(obs);
 
   if (*mode == "generate") {
     Generate(*workload_name, static_cast<int>(*k1), static_cast<int>(*k2),
@@ -108,5 +111,6 @@ int main(int argc, char** argv) {
   } else {
     CEDAR_LOG(FATAL) << "unknown mode '" << *mode << "'";
   }
+  FinishObservability(obs, obs_scope, std::cout);
   return 0;
 }

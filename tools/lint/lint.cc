@@ -1,0 +1,646 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <utility>
+
+namespace cedar {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing: blank out comments and string/char literals so rule
+// regexes only ever see code, and harvest `cedar-lint: allow(...)` markers
+// from the comment text while doing so.
+
+struct StrippedSource {
+  std::vector<std::string> lines;
+  std::map<int, std::set<std::string>> line_allows;
+  std::set<std::string> file_allows;
+};
+
+void ParseAllowMarkers(const std::string& comment, int line, StrippedSource& out) {
+  static const std::regex kAllow("cedar-lint:\\s*(allow|allow-file)\\(([^)]*)\\)");
+  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
+       it != std::sregex_iterator(); ++it) {
+    const bool file_scope = (*it)[1].str() == "allow-file";
+    std::istringstream rules((*it)[2].str());
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      const size_t begin = rule.find_first_not_of(" \t");
+      const size_t end = rule.find_last_not_of(" \t");
+      if (begin == std::string::npos) {
+        continue;
+      }
+      rule = rule.substr(begin, end - begin + 1);
+      if (file_scope) {
+        out.file_allows.insert(rule);
+      } else {
+        out.line_allows[line].insert(rule);
+      }
+    }
+  }
+}
+
+// A '\'' right after an identifier or number is a C++14 digit separator
+// (1'000'000) or an apostrophe in prose, never a char-literal start.
+bool StartsCharLiteral(const std::string& line, size_t i) {
+  if (i == 0) {
+    return true;
+  }
+  const char prev = line[i - 1];
+  return !(std::isalnum(static_cast<unsigned char>(prev)) || prev == '_');
+}
+
+StrippedSource StripSource(const std::string& content) {
+  StrippedSource out;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;       // for R"delim( ... )delim"
+  std::string comment_buffer;  // text of the comment currently being read
+  int comment_start_line = 1;
+
+  std::vector<std::string> raw_lines;
+  {
+    std::istringstream in(content);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      raw_lines.push_back(line);
+    }
+  }
+
+  auto flush_comment = [&](int end_line) {
+    // A line allow applies to the line the comment *ends* on (trailing
+    // comments) which is also where a full-line comment sits.
+    ParseAllowMarkers(comment_buffer, end_line, out);
+    (void)comment_start_line;
+    comment_buffer.clear();
+  };
+
+  for (size_t line_index = 0; line_index < raw_lines.size(); ++line_index) {
+    const std::string& line = raw_lines[line_index];
+    const int line_number = static_cast<int>(line_index) + 1;
+    std::string stripped(line.size(), ' ');
+
+    if (state == State::kLineComment) {  // line comments never span lines
+      state = State::kCode;
+    }
+
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            comment_start_line = line_number;
+            comment_buffer.append(line.substr(i + 2));
+            i = line.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            comment_start_line = line_number;
+            ++i;
+          } else if (c == 'R' && next == '"' &&
+                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(line[i - 1])) &&
+                                 line[i - 1] != '_'))) {
+            const size_t paren = line.find('(', i + 2);
+            raw_delim = ")";
+            if (paren != std::string::npos) {
+              raw_delim.append(line, i + 2, paren - i - 2);
+            }
+            raw_delim.push_back('"');
+            state = State::kRawString;
+            stripped[i] = 'R';
+            i = paren == std::string::npos ? line.size() : paren;
+          } else if (c == '"') {
+            state = State::kString;
+            stripped[i] = '"';
+          } else if (c == '\'' && StartsCharLiteral(line, i)) {
+            state = State::kChar;
+            stripped[i] = '\'';
+          } else {
+            stripped[i] = c;
+          }
+          break;
+        case State::kLineComment:
+          break;  // unreachable: handled at line start / via i = line.size()
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            flush_comment(line_number);
+            ++i;
+          } else {
+            comment_buffer.push_back(c);
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+            stripped[i] = '"';
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+            stripped[i] = '\'';
+          }
+          break;
+        case State::kRawString: {
+          const size_t end = line.find(raw_delim, i);
+          if (end == std::string::npos) {
+            i = line.size();
+          } else {
+            i = end + raw_delim.size() - 1;
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+
+    if (state == State::kLineComment) {
+      flush_comment(line_number);
+    } else if (state == State::kBlockComment) {
+      comment_buffer.push_back('\n');
+    }
+    out.lines.push_back(std::move(stripped));
+  }
+  if (state == State::kBlockComment) {
+    flush_comment(static_cast<int>(raw_lines.size()));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Path predicates deciding which rules apply where.
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// Wall-clock reads are the observability layer's and the realtime
+// aggregator's job; everything else must be simulated-time only.
+bool WallclockExempt(const std::string& path) {
+  return StartsWith(path, "src/obs/") || StartsWith(path, "src/rt/");
+}
+
+// The seeded Rng wrappers (and their unit test, which cross-checks against
+// the std engines) are the one sanctioned home for raw std randomness.
+bool RngExempt(const std::string& path) {
+  const std::string base = Basename(path);
+  return StartsWith(base, "rng");
+}
+
+bool IsEngineCode(const std::string& path) { return StartsWith(path, "src/"); }
+
+std::string CanonicalGuard(const std::string& path) {
+  std::string guard = "CEDAR_";
+  for (char c : path) {
+    guard.push_back(std::isalnum(static_cast<unsigned char>(c))
+                        ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                        : '_');
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+// ---------------------------------------------------------------------------
+// Pattern-rule table.
+
+struct PatternRule {
+  const char* rule;
+  std::regex pattern;
+  const char* message;
+  bool (*exempt)(const std::string& path);  // may be null
+  bool engine_only;                         // restrict to src/
+};
+
+const std::vector<PatternRule>& PatternRules() {
+  static const std::vector<PatternRule>* rules = new std::vector<PatternRule>{
+      {"wallclock",
+       std::regex("\\b(system_clock|steady_clock|high_resolution_clock)\\b|"
+                  "\\b(time|clock|gettimeofday|clock_gettime)\\s*\\("),
+       "wall-clock read outside src/obs/ and src/rt/; engine results must not depend on real "
+       "time",
+       &WallclockExempt, false},
+      {"rng",
+       std::regex("\\b(rand|srand)\\s*\\(|\\brandom_device\\b|\\bmt19937(_64)?\\b|"
+                  "\\bdefault_random_engine\\b|\\bminstd_rand0?\\b"),
+       "raw std randomness outside src/stats/rng; draw through a seeded cedar::Rng instead",
+       &RngExempt, false},
+      {"ptr-hash",
+       std::regex("reinterpret_cast\\s*<\\s*(std::)?(uintptr_t|size_t|intptr_t)\\s*>|"
+                  "std::hash\\s*<[^<>]*\\*\\s*>"),
+       "pointer-address fingerprint/hash; addresses are recycled between queries — key by "
+       "content or sequence id",
+       nullptr, false},
+      {"raw-new",
+       std::regex("\\bnew\\b|(^|[^=!<>+*/%&|^-])\\s\\bdelete\\b"),
+       "raw new/delete in engine code; use std::make_unique / containers",
+       nullptr, true},
+      {"stdout",
+       std::regex("\\bstd::cout\\b|\\bprintf\\s*\\(|\\bfprintf\\s*\\(\\s*stdout\\b|"
+                  "\\bputs\\s*\\("),
+       "direct stdout write from src/; take a std::ostream& or use CEDAR_LOG",
+       nullptr, true},
+  };
+  return *rules;
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream out;
+  out << file << ":" << line << ": error: [" << rule << "] " << message;
+  return out.str();
+}
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string>* rules = new std::vector<std::string>{
+      "wallclock", "rng",           "ptr-hash",      "unordered-iter", "raw-new",
+      "stdout",    "fork-override", "include-guard", "self-contained",
+  };
+  return *rules;
+}
+
+void LintRun::SetRuleFilter(const std::string& rule) { rule_filter_ = rule; }
+
+void LintRun::AddFile(const std::string& path, const std::string& content) {
+  StrippedSource stripped = StripSource(content);
+  FileState state;
+  state.path = path;
+  state.lines = std::move(stripped.lines);
+  state.line_allows = std::move(stripped.line_allows);
+  state.file_allows = std::move(stripped.file_allows);
+  static const std::regex kInclude("^\\s*#\\s*include\\s*[<\"]([^>\"]+)[>\"]");
+  for (const std::string& line : state.lines) {
+    std::smatch match;
+    if (std::regex_search(line, match, kInclude)) {
+      state.includes.insert(match[1].str());
+    }
+  }
+  files_.push_back(std::move(state));
+}
+
+bool LintRun::RuleEnabled(const std::string& rule) const {
+  return rule_filter_.empty() || rule_filter_ == rule;
+}
+
+bool LintRun::Suppressed(const FileState& file, int line, const std::string& rule) const {
+  if (file.file_allows.count(rule) != 0) {
+    return true;
+  }
+  for (int candidate : {line, line - 1}) {
+    auto it = file.line_allows.find(candidate);
+    if (it != file.line_allows.end() && it->second.count(rule) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void LintRun::Report(const FileState& file, int line, const std::string& rule,
+                     const std::string& message) {
+  if (!RuleEnabled(rule) || Suppressed(file, line, rule)) {
+    return;
+  }
+  diagnostics_.push_back(Diagnostic{file.path, line, rule, message});
+}
+
+void LintRun::CheckPatternRules(const FileState& file) {
+  for (const PatternRule& rule : PatternRules()) {
+    if (rule.engine_only && !IsEngineCode(file.path)) {
+      continue;
+    }
+    if (rule.exempt != nullptr && rule.exempt(file.path)) {
+      continue;
+    }
+    for (size_t i = 0; i < file.lines.size(); ++i) {
+      if (std::regex_search(file.lines[i], rule.pattern)) {
+        Report(file, static_cast<int>(i) + 1, rule.rule, rule.message);
+      }
+    }
+  }
+}
+
+void LintRun::CheckUnorderedIteration(const FileState& file) {
+  // Names declared as unordered containers in this file and, for a .cc, in
+  // its sibling header (members iterated in the implementation).
+  static const std::regex kDecl(
+      "\\bstd::unordered_(?:map|set|multimap|multiset)\\s*<[^;{}]*>\\s+(\\w+)\\s*[;={(]");
+  static const std::regex kDeclOpen(  // declaration whose template args span lines
+      "\\bstd::unordered_(?:map|set|multimap|multiset)\\s*<[^;{}>]*$");
+  std::set<std::string> names;
+  auto collect = [&](const FileState& source) {
+    for (const std::string& line : source.lines) {
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), kDecl);
+           it != std::sregex_iterator(); ++it) {
+        names.insert((*it)[1].str());
+      }
+    }
+  };
+  collect(file);
+  if (!IsHeader(file.path)) {
+    std::string sibling = file.path;
+    const size_t dot = sibling.find_last_of('.');
+    if (dot != std::string::npos) {
+      sibling = sibling.substr(0, dot) + ".h";
+      auto it = by_path_.find(sibling);
+      if (it != by_path_.end()) {
+        collect(*it->second);
+      }
+    }
+  }
+  if (names.empty()) {
+    return;
+  }
+  std::string alternation;
+  for (const std::string& name : names) {
+    alternation += (alternation.empty() ? "" : "|") + name;
+  }
+  const std::regex range_for("\\bfor\\s*\\([^();]*:[^();]*\\b(" + alternation + ")\\b");
+  for (size_t i = 0; i < file.lines.size(); ++i) {
+    std::smatch match;
+    if (std::regex_search(file.lines[i], match, range_for)) {
+      Report(file, static_cast<int>(i) + 1, "unordered-iter",
+             "iteration over unordered container '" + match[1].str() +
+                 "'; order is implementation-defined — iterate a sorted copy or switch to an "
+                 "ordered container before this feeds any output");
+    }
+  }
+}
+
+void LintRun::CheckIncludeGuard(const FileState& file) {
+  if (!IsHeader(file.path)) {
+    return;
+  }
+  static const std::regex kDirective("^\\s*#\\s*(\\w+)\\s*(\\S*)");
+  std::vector<std::pair<int, std::smatch>> directives;
+  for (size_t i = 0; i < file.lines.size() && directives.size() < 2; ++i) {
+    std::smatch match;
+    if (std::regex_search(file.lines[i], match, kDirective)) {
+      directives.emplace_back(static_cast<int>(i) + 1, match);
+    }
+  }
+  const std::string guard = CanonicalGuard(file.path);
+  if (directives.empty()) {
+    Report(file, 1, "include-guard", "header has no include guard; want #ifndef " + guard);
+    return;
+  }
+  if (directives[0].second[1].str() == "pragma") {
+    if (directives[0].second[2].str() != "once") {
+      Report(file, directives[0].first, "include-guard",
+             "header's first directive is a #pragma other than 'once'; want #pragma once or "
+             "#ifndef " +
+                 guard);
+    }
+    return;
+  }
+  if (directives[0].second[1].str() != "ifndef" || directives[0].second[2].str() != guard) {
+    Report(file, directives[0].first, "include-guard",
+           "first directive must be the canonical include guard #ifndef " + guard);
+    return;
+  }
+  if (directives.size() < 2 || directives[1].second[1].str() != "define" ||
+      directives[1].second[2].str() != guard) {
+    Report(file, directives[0].first, "include-guard",
+           "#ifndef " + guard + " must be followed by #define " + guard);
+  }
+}
+
+void LintRun::CheckSelfContained(const FileState& file) {
+  if (!IsHeader(file.path)) {
+    return;
+  }
+  struct Symbol {
+    const char* display;
+    std::regex use;
+    std::vector<std::string> providers;  // any direct include satisfies
+  };
+  static const std::vector<Symbol>* symbols = new std::vector<Symbol>{
+      {"std::string", std::regex("\\bstd::(string|to_string)\\b"), {"string"}},
+      {"std::vector", std::regex("\\bstd::vector\\b"), {"vector"}},
+      {"std::unique_ptr/std::shared_ptr",
+       std::regex("\\bstd::(unique_ptr|shared_ptr|make_unique|make_shared|weak_ptr)\\b"),
+       {"memory"}},
+      {"std::function", std::regex("\\bstd::function\\b"), {"functional"}},
+      {"std::unordered_map", std::regex("\\bstd::unordered_(map|multimap)\\b"),
+       {"unordered_map"}},
+      {"std::unordered_set", std::regex("\\bstd::unordered_(set|multiset)\\b"),
+       {"unordered_set"}},
+      {"std::map", std::regex("\\bstd::(map|multimap)\\b"), {"map"}},
+      {"std::set", std::regex("\\bstd::(set|multiset)\\b"), {"set"}},
+      {"std::pair", std::regex("\\bstd::(pair|make_pair|move|forward|swap)\\b"), {"utility"}},
+      {"std::tuple", std::regex("\\bstd::(tuple|make_tuple|tie)\\b"), {"tuple"}},
+      {"std::optional", std::regex("\\bstd::(optional|nullopt)\\b"), {"optional"}},
+      {"std::array", std::regex("\\bstd::array\\b"), {"array"}},
+      {"std::deque", std::regex("\\bstd::deque\\b"), {"deque"}},
+      {"std::initializer_list", std::regex("\\bstd::initializer_list\\b"),
+       {"initializer_list"}},
+      {"std::mutex", std::regex("\\bstd::(mutex|lock_guard|unique_lock|scoped_lock)\\b"),
+       {"mutex"}},
+      {"std::condition_variable", std::regex("\\bstd::condition_variable\\b"),
+       {"condition_variable"}},
+      {"std::thread", std::regex("\\bstd::thread\\b"), {"thread"}},
+      {"std::atomic", std::regex("\\bstd::atomic\\b"), {"atomic"}},
+      {"std::ostream/std::istream", std::regex("\\bstd::(ostream|istream|iostream|endl)\\b"),
+       {"iosfwd", "ostream", "istream", "iostream"}},
+      {"std::ostringstream", std::regex("\\bstd::[io]?stringstream\\b"), {"sstream"}},
+      {"fixed-width ints", std::regex("\\b(u?int(8|16|32|64)_t)\\b"),
+       {"cstdint", "stdint.h"}},
+  };
+  for (const Symbol& symbol : *symbols) {
+    bool provided = false;
+    for (const std::string& provider : symbol.providers) {
+      if (file.includes.count(provider) != 0) {
+        provided = true;
+        break;
+      }
+    }
+    if (provided) {
+      continue;
+    }
+    for (size_t i = 0; i < file.lines.size(); ++i) {
+      if (std::regex_search(file.lines[i], symbol.use)) {
+        Report(file, static_cast<int>(i) + 1, "self-contained",
+               std::string("header uses ") + symbol.display + " but does not include <" +
+                   symbol.providers.front() + "> directly");
+        break;  // one diagnostic per symbol per header
+      }
+    }
+  }
+}
+
+void LintRun::CheckForkOverride() {
+  if (!RuleEnabled("fork-override")) {
+    return;
+  }
+  struct ClassDecl {
+    std::string name;
+    std::string base;
+    const FileState* file;
+    int line;
+    size_t line_index;
+    size_t column;
+  };
+  static const std::regex kClass(
+      "\\b(?:class|struct)\\s+(\\w+)\\s*(?:final\\s*)?:\\s*(?:public|protected|private)?\\s*"
+      "(?:cedar::)?(\\w+)");
+  std::vector<ClassDecl> decls;
+  for (const FileState& file : files_) {
+    for (size_t i = 0; i < file.lines.size(); ++i) {
+      const std::string& line = file.lines[i];
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), kClass);
+           it != std::sregex_iterator(); ++it) {
+        decls.push_back(ClassDecl{(*it)[1].str(), (*it)[2].str(), &file,
+                                  static_cast<int>(i) + 1, i,
+                                  static_cast<size_t>(it->position())});
+      }
+    }
+  }
+  std::map<std::string, std::string> parent;
+  for (const ClassDecl& decl : decls) {
+    parent.emplace(decl.name, decl.base);
+  }
+  auto derives_from_wait_policy = [&](const std::string& name) {
+    std::string current = name;
+    for (int depth = 0; depth < 16; ++depth) {  // cycle guard
+      auto it = parent.find(current);
+      if (it == parent.end()) {
+        return false;
+      }
+      if (it->second == "WaitPolicy") {
+        return true;
+      }
+      current = it->second;
+    }
+    return false;
+  };
+  for (const ClassDecl& decl : decls) {
+    if (!derives_from_wait_policy(decl.name)) {
+      continue;
+    }
+    // Extract the class body (brace matching on stripped text) and look for
+    // a ForkForWorker declaration anywhere inside it.
+    const FileState& file = *decl.file;
+    bool overrides = false;
+    int depth = 0;
+    bool in_body = false;
+    bool body_done = false;
+    for (size_t i = decl.line_index; i < file.lines.size() && !body_done; ++i) {
+      const std::string& line = file.lines[i];
+      const bool line_in_body = in_body;
+      for (size_t j = i == decl.line_index ? decl.column : 0; j < line.size(); ++j) {
+        if (line[j] == '{') {
+          ++depth;
+          in_body = true;
+        } else if (line[j] == '}') {
+          --depth;
+          if (in_body && depth == 0) {
+            body_done = true;
+            break;
+          }
+        }
+      }
+      if ((line_in_body || in_body) && line.find("ForkForWorker") != std::string::npos) {
+        overrides = true;
+        break;
+      }
+    }
+    if (!overrides) {
+      Report(file, decl.line, "fork-override",
+             "WaitPolicy subclass '" + decl.name +
+                 "' does not override ForkForWorker; forked workers would share its Clone() "
+                 "state — override it, or allow(fork-override) with a justification that the "
+                 "default (Clone) is detached");
+    }
+  }
+}
+
+std::vector<Diagnostic> LintRun::Run() {
+  diagnostics_.clear();
+  by_path_.clear();
+  for (const FileState& file : files_) {
+    by_path_[file.path] = &file;
+  }
+  for (const FileState& file : files_) {
+    CheckPatternRules(file);
+    CheckUnorderedIteration(file);
+    CheckIncludeGuard(file);
+    CheckSelfContained(file);
+  }
+  CheckForkOverride();
+  std::sort(diagnostics_.begin(), diagnostics_.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+            });
+  return diagnostics_;
+}
+
+std::vector<Diagnostic> LintTree(const std::string& root, const std::vector<std::string>& dirs,
+                                 const std::string& rule_filter, int* out_files_scanned) {
+  namespace fs = std::filesystem;
+  LintRun run;
+  run.SetRuleFilter(rule_filter);
+  int scanned = 0;
+  std::vector<std::string> paths;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string extension = entry.path().extension().string();
+      if (extension != ".cc" && extension != ".h") {
+        continue;
+      }
+      const std::string relative =
+          fs::relative(entry.path(), fs::path(root)).generic_string();
+      // Fixture files violate rules on purpose; build trees hold generated
+      // code we do not own.
+      if (relative.find("lint_fixtures") != std::string::npos ||
+          relative.find("build") == 0 || relative.find("/build/") != std::string::npos) {
+        continue;
+      }
+      paths.push_back(relative);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& relative : paths) {
+    std::ifstream in(fs::path(root) / relative, std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    run.AddFile(relative, content.str());
+    ++scanned;
+  }
+  if (out_files_scanned != nullptr) {
+    *out_files_scanned = scanned;
+  }
+  return run.Run();
+}
+
+}  // namespace lint
+}  // namespace cedar
