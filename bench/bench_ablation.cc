@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/core/policies.h"
@@ -36,7 +37,9 @@ int main(int argc, char** argv) {
   int64_t* queries = flags.AddInt("queries", 60, "queries per configuration");
   double* deadline = flags.AddDouble("deadline", 1000.0, "deadline (seconds)");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   auto workload = MakeFacebookWorkload(50, 50);
   int n = static_cast<int>(*queries);
@@ -90,5 +93,6 @@ int main(int argc, char** argv) {
     }
     table.Print(std::cout);
   }
+  obs.Finish(std::cout);
   return 0;
 }

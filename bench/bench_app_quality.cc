@@ -14,6 +14,7 @@
 
 #include "src/apps/analytics_service.h"
 #include "src/apps/search_service.h"
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/common/sample_set.h"
 #include "src/common/table.h"
@@ -50,7 +51,9 @@ int main(int argc, char** argv) {
   FlagSet flags("Application-level quality: search recall and analytics answer error.");
   int64_t* queries = flags.AddInt("queries", 40, "queries per point");
   int64_t* seed = flags.AddInt("seed", 42, "rng seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   const int k1 = 10;
   const int k2 = 10;
@@ -134,5 +137,6 @@ int main(int argc, char** argv) {
     std::cout << "A few percent of included partitions already answer every group with low\n"
                  "error — the approximate-analytics value proposition under deadlines.\n";
   }
+  obs.Finish(std::cout);
   return 0;
 }

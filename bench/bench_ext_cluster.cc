@@ -10,6 +10,7 @@
 
 #include "src/cluster/experiment.h"
 #include "src/cluster/loaded_runtime.h"
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/core/policies.h"
@@ -21,7 +22,9 @@ int main(int argc, char** argv) {
   int64_t* queries = flags.AddInt("queries", 60, "queries per configuration");
   double* deadline = flags.AddDouble("deadline", 1000.0, "per-query deadline (seconds)");
   int64_t* seed = flags.AddInt("seed", 42, "rng seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   auto workload = MakeFacebookWorkload(20, 16);
   ProportionalSplitPolicy prop_split;
@@ -79,5 +82,6 @@ int main(int argc, char** argv) {
     }
     table.Print(std::cout);
   }
+  obs.Finish(std::cout);
   return 0;
 }

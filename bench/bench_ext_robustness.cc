@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/core/policies.h"
@@ -61,7 +62,9 @@ int main(int argc, char** argv) {
   FlagSet flags("Robustness extension benches: model mismatch and weighted outputs.");
   int64_t* queries = flags.AddInt("queries", 80, "queries per configuration");
   int64_t* seed = flags.AddInt("seed", 42, "rng seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   {
     PrintBanner(std::cout,
@@ -101,5 +104,6 @@ int main(int argc, char** argv) {
     RunWeighted(std::cout, MakeFacebookWorkload(50, 50), 1000.0, static_cast<int>(*queries),
                 static_cast<uint64_t>(*seed));
   }
+  obs.Finish(std::cout);
   return 0;
 }

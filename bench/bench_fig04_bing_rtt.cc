@@ -7,13 +7,19 @@
 
 #include <iostream>
 
+#include "bench/bench_util.h"
+#include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/stats/distribution.h"
 #include "src/stats/fitting.h"
 #include "src/trace/calibration.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cedar;
+  FlagSet flags("Figure 4: Bing search-cluster RTT distribution.");
+  BenchObservability obs(flags);
+  flags.Parse(argc, argv);
+  obs.Init();
 
   PrintBanner(std::cout, "Figure 4: Bing search-cluster RTT distribution (microseconds)");
 
@@ -63,5 +69,6 @@ int main() {
     }
     tail.Print(std::cout);
   }
+  obs.Finish(std::cout);
   return 0;
 }

@@ -20,7 +20,9 @@ int main(int argc, char** argv) {
   int64_t* queries = flags.AddInt("queries", 100, "queries per deadline");
   int64_t* fanout = flags.AddInt("fanout", 50, "fanout at both levels");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   auto workload =
       MakeFacebookWorkload(static_cast<int>(*fanout), static_cast<int>(*fanout));
@@ -39,5 +41,6 @@ int main(int argc, char** argv) {
                    "(Facebook map/reduce, fanout 50x50)",
                    workload, {&prop_split, &equal_split, &mean_subtract, &ideal},
                    {500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0}, options);
+  obs.Finish(std::cout);
   return 0;
 }

@@ -11,7 +11,6 @@
 #include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/core/policies.h"
-#include "src/obs/obs_flags.h"
 #include "src/trace/workloads.h"
 
 int main(int argc, char** argv) {
@@ -19,11 +18,11 @@ int main(int argc, char** argv) {
   FlagSet flags("Figure 7: Cedar vs Proportional-split vs Ideal, Facebook workload.");
   int64_t* queries = flags.AddInt("queries", 100, "queries per deadline");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
-  ObservabilityFlags obs = AddObservabilityFlags(flags);
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
   // Engines pick the collector up through the global fallback; the sweep
   // helpers need no trace plumbing of their own.
-  ObservabilityScope obs_scope = InitObservability(obs);
+  obs.Init();
 
   ProportionalSplitPolicy prop_split;
   CedarPolicy cedar;
@@ -53,6 +52,6 @@ int main(int argc, char** argv) {
     RunDeadlineSweep(std::cout, "Figure 7b (simulation): fanout 50x50 (2500 processes)",
                      workload, {&prop_split, &cedar, &ideal}, deadlines, options);
   }
-  FinishObservability(obs, obs_scope, std::cout);
+  obs.Finish(std::cout);
   return 0;
 }

@@ -5,11 +5,11 @@
 
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/common/sample_set.h"
 #include "src/common/table.h"
 #include "src/core/policies.h"
-#include "src/obs/obs_flags.h"
 #include "src/sim/experiment.h"
 #include "src/trace/workloads.h"
 
@@ -21,9 +21,9 @@ int main(int argc, char** argv) {
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
   int64_t* threads = flags.AddInt(
       "threads", 0, "experiment worker threads (0 = one per hardware thread)");
-  ObservabilityFlags obs = AddObservabilityFlags(flags);
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
-  ObservabilityScope obs_scope = InitObservability(obs);
+  obs.Init();
 
   auto workload = MakeFacebookWorkload(50, 50);
   ProportionalSplitPolicy prop_split;
@@ -59,6 +59,6 @@ int main(int argc, char** argv) {
   summary.AddRow(
       {"fraction_improving_<5%", TablePrinter::FormatDouble(samples.Ecdf(5.0), 3)});
   summary.Print(std::cout);
-  FinishObservability(obs, obs_scope, std::cout);
+  obs.Finish(std::cout);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/stats/estimators.h"
@@ -21,7 +22,9 @@ int main(int argc, char** argv) {
   int64_t* trials = flags.AddInt("trials", 2000, "Monte-Carlo trials");
   int64_t* fanout = flags.AddInt("fanout", 50, "total processes k");
   int64_t* seed = flags.AddInt("seed", 42, "rng seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   const double mu = kFacebookMapMu;
   const double sigma = kFacebookMapSigma;
@@ -78,5 +81,6 @@ int main(int argc, char** argv) {
                         1);
   }
   table.Print(std::cout);
+  obs.Finish(std::cout);
   return 0;
 }

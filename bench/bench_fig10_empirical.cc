@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   FlagSet flags("Figure 10: order-statistics vs empirical estimates (deployment).");
   int64_t* queries = flags.AddInt("queries", 100, "queries per deadline");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   auto workload = MakeFacebookWorkload(20, 16);
   ProportionalSplitPolicy prop_split;
@@ -39,5 +41,6 @@ int main(int argc, char** argv) {
       "Figure 10: Cedar vs Cedar-with-empirical-estimates (320-slot engine, fanout 20x16)",
       workload, {&prop_split, &cedar_empirical, &cedar},
       {300.0, 500.0, 750.0, 1000.0, 1500.0, 2000.0}, options);
+  obs.Finish(std::cout);
   return 0;
 }

@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
   double* mu_low = flags.AddDouble("mu_low", 2.0, "bottom-stage mu before the shift");
   double* mu_high = flags.AddDouble("mu_high", 4.2, "bottom-stage mu after the shift");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   auto make_stationary = [&](const std::string& name, double mu) {
     return std::make_shared<StationaryWorkload>(
@@ -61,5 +63,6 @@ int main(int argc, char** argv) {
                        TablePrinter::FormatDouble(*mu_low, 1) + " -> " +
                        TablePrinter::FormatDouble(*mu_high, 1) + ")",
                    shifted, {&prop_split, &cedar_offline, &cedar, &ideal}, deadlines, options);
+  obs.Finish(std::cout);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/core/policies.h"
@@ -48,7 +49,9 @@ int main(int argc, char** argv) {
   int64_t* queries = flags.AddInt("queries", 100, "queries per configuration");
   double* deadline = flags.AddDouble("deadline", 1000.0, "deadline (seconds)");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   SweepFanouts(std::cout, "Figure 12a: equal fanout k1 = k2",
                {{5, 5}, {10, 10}, {15, 15}, {20, 20}, {25, 25}, {30, 30}, {40, 40}, {50, 50}},
@@ -57,5 +60,6 @@ int main(int argc, char** argv) {
   SweepFanouts(std::cout, "Figure 12b: k2 = 50, ratio k1/k2 swept",
                {{5, 50}, {10, 50}, {15, 50}, {20, 50}, {25, 50}, {30, 50}, {40, 50}, {50, 50}},
                *deadline, static_cast<int>(*queries), static_cast<uint64_t>(*seed));
+  obs.Finish(std::cout);
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/core/policies.h"
@@ -45,7 +46,9 @@ int main(int argc, char** argv) {
   int64_t* queries = flags.AddInt("queries", 60, "queries per point");
   int64_t* fanout = flags.AddInt("fanout", 25, "fanout at every level");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   int k = static_cast<int>(*fanout);
   auto two_level = MakeFacebookWorkload(k, k);
@@ -62,5 +65,6 @@ int main(int argc, char** argv) {
              static_cast<int>(*queries), static_cast<uint64_t>(*seed), table);
   table.Print(std::cout);
   std::cout << "\nRead rows at matched q(prop-split) to compare depths, as in the paper.\n";
+  obs.Finish(std::cout);
   return 0;
 }

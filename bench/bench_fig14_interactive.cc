@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   FlagSet flags("Figure 14: interactive workload (FB map in ms + Google upper).");
   int64_t* queries = flags.AddInt("queries", 150, "queries per deadline");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   auto workload = MakeInteractiveWorkload(50, 50);
   ProportionalSplitPolicy prop_split;
@@ -31,5 +33,6 @@ int main(int argc, char** argv) {
                    "Figure 14: interactive workload, deadlines 140-170 ms (fanout 50x50)",
                    workload, {&prop_split, &cedar, &ideal},
                    {140.0, 145.0, 150.0, 155.0, 160.0, 165.0, 170.0}, options);
+  obs.Finish(std::cout);
   return 0;
 }

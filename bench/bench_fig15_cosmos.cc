@@ -17,7 +17,9 @@ int main(int argc, char** argv) {
   FlagSet flags("Figure 15: Cosmos extract/full-aggregate workload.");
   int64_t* queries = flags.AddInt("queries", 150, "queries per deadline");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   auto workload = MakeCosmosWorkload(50, 50);
   ProportionalSplitPolicy prop_split;
@@ -36,5 +38,6 @@ int main(int argc, char** argv) {
                    "Figure 15: Cosmos phase statistics (stationary; learning not in play)",
                    workload, {&prop_split, &cedar_offline, &cedar, &ideal},
                    {60.0, 75.0, 95.0, 120.0, 150.0}, options);
+  obs.Finish(std::cout);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <functional>
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/core/policies.h"
@@ -56,7 +57,9 @@ int main(int argc, char** argv) {
   FlagSet flags("Figure 16: gains vs sigma of X1 for Bing/Google/Facebook distributions.");
   int64_t* queries = flags.AddInt("queries", 100, "queries per point");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   int n = static_cast<int>(*queries);
   auto s = static_cast<uint64_t>(*seed);
@@ -72,5 +75,6 @@ int main(int argc, char** argv) {
   SweepSigma(std::cout, "Figure 16c: Facebook-Facebook (mu=2.77, sigma2=0.84, seconds)",
              [](double sigma1) { return MakeFacebookSigmaWorkload(sigma1); },
              {2.00, 2.05, 2.10, 2.15, 2.20, 2.25}, 250.0, "s", n, s);
+  obs.Finish(std::cout);
   return 0;
 }

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   FlagSet flags("Figure 17: Gaussian stage distributions.");
   int64_t* queries = flags.AddInt("queries", 150, "queries per deadline");
   int64_t* seed = flags.AddInt("seed", 42, "workload seed");
+  BenchObservability obs(flags);
   flags.Parse(argc, argv);
+  obs.Init();
 
   GaussianWorkload workload(50, 50);
   ProportionalSplitPolicy prop_split;
@@ -34,5 +36,6 @@ int main(int argc, char** argv) {
                    "Figure 17: Normal(40, 80) bottom / Normal(40, 10) top, ms, fanout 50x50",
                    workload, {&prop_split, &cedar, &ideal},
                    {120.0, 150.0, 180.0, 210.0, 240.0, 280.0, 320.0, 360.0}, options);
+  obs.Finish(std::cout);
   return 0;
 }

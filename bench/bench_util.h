@@ -15,10 +15,39 @@
 
 #include "src/cluster/experiment.h"
 #include "src/core/policy.h"
+#include "src/core/wait_table_store.h"
+#include "src/obs/obs_flags.h"
 #include "src/sim/experiment.h"
 #include "src/sim/workload.h"
 
 namespace cedar {
+
+// One-call observability wiring for the figure harnesses: registers the
+// shared --metrics/--metrics-report/--trace-out flags at construction, then
+//
+//   BenchObservability obs(flags);
+//   flags.Parse(argc, argv);
+//   obs.Init();
+//   ... workload ...
+//   obs.Finish(std::cout);
+//
+// keeping bench_util the single flag-parsing path for every bench binary.
+class BenchObservability {
+ public:
+  explicit BenchObservability(FlagSet& flags);
+
+  // Applies the parsed flags: metrics/profiling switches plus the global
+  // trace collector when --trace-out was given. Call once, after Parse().
+  void Init();
+
+  // Writes the requested outputs (trace file, metrics report to |out|) and
+  // uninstalls the collector.
+  void Finish(std::ostream& out);
+
+ private:
+  ObservabilityFlags flags_;
+  ObservabilityScope scope_;
+};
 
 struct SweepOptions {
   int num_queries = 100;
@@ -29,6 +58,11 @@ struct SweepOptions {
   // Name of the policy used as the improvement baseline ("" = first).
   std::string baseline;
   TreeSimulationOptions sim;
+  // Sweep-scoped wait-table store (borrowed, may be null = policies use the
+  // process Global()). When set, the engine also lends the sweep's worker
+  // pool to it so single-flight builds fill their grids in parallel. Results
+  // are bit-identical with any store; only the amortization scope changes.
+  WaitTableStore* wait_table_store = nullptr;
 };
 
 // Runs |workload| under |policies| for every deadline and prints one row per
@@ -57,6 +91,8 @@ struct ClusterSweepOptions {
   int threads = 0;
   std::string baseline;
   ClusterRunOptions run;
+  // Same contract as SweepOptions::wait_table_store.
+  WaitTableStore* wait_table_store = nullptr;
 };
 
 // Same, on the slot-scheduled cluster engine (the deployment substitute).

@@ -81,6 +81,7 @@ ClusterQueryResult ClusterRuntime::RunQuery(const WaitPolicy& policy_prototype,
       ctx.offline_tree = &offline_tree_;
       ctx.upper_quality = &(*stack)[static_cast<size_t>(tier + 1)];
       ctx.epsilon = epsilon_;
+      ctx.table_store = options_.table_store;
       if (trace_ptr != nullptr) {
         trace_ptr->RecordTierPlan(tier, offset);
       }

@@ -74,6 +74,10 @@ struct ClusterRunOptions {
   // Query-lifecycle trace sink, with the same fallback-to-global contract
   // as TreeSimulationOptions::trace.
   TraceCollector* trace = nullptr;
+
+  // Wait-table store handed to policies via ctx.table_store, with the same
+  // contract as TreeSimulationOptions::table_store.
+  WaitTableStore* table_store = nullptr;
 };
 
 struct ClusterQueryResult {

@@ -18,7 +18,11 @@ ClusterExperimentResult RunClusterExperiment(const Workload& workload,
   AssignOutcomeNames(policies, result.outcomes);
 
   TreeSpec offline_tree = workload.OfflineTree();
-  ClusterRuntime runtime(config.cluster, offline_tree, config.deadline, config.run);
+  ClusterRunOptions run_options = config.run;
+  if (config.wait_table_store != nullptr) {
+    run_options.table_store = config.wait_table_store;
+  }
+  ClusterRuntime runtime(config.cluster, offline_tree, config.deadline, run_options);
 
   std::vector<ClusterQueryResult> grid = RunExperimentGrid<ClusterQueryResult>(
       workload, offline_tree, policies, config,

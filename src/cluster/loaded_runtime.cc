@@ -123,6 +123,7 @@ LoadedRunResult RunLoadedCluster(const Workload& workload, const WaitPolicy& pol
       ctx.offline_tree = &offline_tree;
       ctx.upper_quality = &(*stack)[static_cast<size_t>(tier + 1)];
       ctx.epsilon = epsilon;
+      ctx.table_store = config.table_store;
       if (trace_ptr != nullptr) {
         trace_ptr->RecordTierPlan(tier, offset);
       }

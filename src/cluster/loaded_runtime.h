@@ -38,6 +38,10 @@ struct LoadedRunConfig {
   // as TreeSimulationOptions::trace. Spans are placed at each query's
   // arrival time, so a loaded trace shows the overlapping jobs.
   TraceCollector* trace = nullptr;
+
+  // Wait-table store handed to policies via ctx.table_store, with the same
+  // contract as TreeSimulationOptions::table_store.
+  WaitTableStore* table_store = nullptr;
 };
 
 struct LoadedRunResult {

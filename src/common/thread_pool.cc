@@ -155,4 +155,70 @@ void ParallelForChunks(ThreadPool& pool, long long total, int chunks,
   pool.Wait();
 }
 
+void ParallelForChunksShared(ThreadPool* pool, long long total, int chunks,
+                             const std::function<void(long long, long long, int)>& body) {
+  CEDAR_CHECK_GE(total, 0);
+  CEDAR_CHECK_GE(chunks, 1);
+  if (total == 0) {
+    return;
+  }
+  const long long n_chunks = std::min<long long>(chunks, total);
+  const long long base = total / n_chunks;
+  const long long remainder = total % n_chunks;
+  if (pool == nullptr || pool->num_threads() <= 1 || n_chunks <= 1) {
+    long long begin = 0;
+    for (long long c = 0; c < n_chunks; ++c) {
+      long long end = begin + base + (c < remainder ? 1 : 0);
+      body(begin, end, static_cast<int>(c));
+      begin = end;
+    }
+    return;
+  }
+
+  // Helpers may be scheduled after the caller has already finished every
+  // chunk (a busy pool runs them arbitrarily late), so the shared state is
+  // refcounted and late helpers see next >= n_chunks and return untouched.
+  struct State {
+    std::function<void(long long, long long, int)> body;
+    long long n_chunks = 0;
+    long long base = 0;
+    long long remainder = 0;
+    std::atomic<long long> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    long long done = 0;  // chunks fully executed (under mutex)
+  };
+  auto state = std::make_shared<State>();
+  state->body = body;
+  state->n_chunks = n_chunks;
+  state->base = base;
+  state->remainder = remainder;
+
+  auto run_chunks = [](State& s) {
+    for (;;) {
+      const long long c = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s.n_chunks) {
+        return;
+      }
+      const long long begin = c * s.base + std::min(c, s.remainder);
+      const long long end = begin + s.base + (c < s.remainder ? 1 : 0);
+      s.body(begin, end, static_cast<int>(c));
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (++s.done == s.n_chunks) {
+        s.done_cv.notify_all();
+      }
+    }
+  };
+
+  // n_chunks - 1 helpers at most: the caller is itself a full participant.
+  const int helpers =
+      static_cast<int>(std::min<long long>(pool->num_threads(), n_chunks - 1));
+  for (int i = 0; i < helpers; ++i) {
+    pool->Submit([state, run_chunks] { run_chunks(*state); });
+  }
+  run_chunks(*state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->done == state->n_chunks; });
+}
+
 }  // namespace cedar

@@ -104,6 +104,18 @@ int ResolveThreadCount(int requested);
 void ParallelForChunks(ThreadPool& pool, long long total, int chunks,
                        const std::function<void(long long, long long, int)>& body);
 
+// Like ParallelForChunks, but safe to call from *inside* a pool task: the
+// calling thread claims and runs chunks itself (so progress never depends on
+// a free worker) while idle pool workers help, and completion is tracked
+// with a chunk counter instead of ThreadPool::Wait() — which would deadlock
+// when invoked from a worker. Chunk boundaries are identical to
+// ParallelForChunks, so any chunk-indexed output is the same either way.
+// |pool| may be null (or single-threaded): the body then runs inline,
+// serially, in chunk order. Used by the wait-table store to parallelize
+// single-flight table builds on the experiment's own worker pool.
+void ParallelForChunksShared(ThreadPool* pool, long long total, int chunks,
+                             const std::function<void(long long, long long, int)>& body);
+
 }  // namespace cedar
 
 #endif  // CEDAR_SRC_COMMON_THREAD_POOL_H_

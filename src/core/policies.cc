@@ -102,24 +102,66 @@ CedarPolicy::CedarPolicy(CedarPolicyOptions options) : options_(options) {
   if (options_.use_wait_table) {
     CEDAR_CHECK(options_.table_spec.family == options_.learner.family)
         << "wait-table family must match the learner family";
-    table_cache_ = std::make_shared<TableCache>();
+    if (!options_.share_wait_tables) {
+      table_cache_ = std::make_shared<TableCache>();
+    }
   }
 }
 
 std::unique_ptr<WaitPolicy> CedarPolicy::Clone() const {
-  // Clones share options (and the wait-table cache) but never learner state.
+  // Clones share options (and the store-off wait-table cache) but never
+  // learner state or the store-table memo.
   auto clone = std::make_unique<CedarPolicy>(options_);
   clone->table_cache_ = table_cache_;
   return clone;
 }
 
 std::unique_ptr<WaitPolicy> CedarPolicy::ForkForWorker() const {
-  // The constructor allocates a fresh TableCache, so the fork shares nothing
-  // mutable with this instance.
+  // A fresh instance shares nothing mutable with this one: the store-off
+  // constructor allocates a new TableCache, and the shared-store path keeps
+  // only per-instance memo state. The WaitTableStore itself is safe to share
+  // across workers — that sharing is the point of the store.
   return std::make_unique<CedarPolicy>(options_);
 }
 
+WaitTableStore* CedarPolicy::ResolveStore(const AggregatorContext& ctx) const {
+  if (!options_.use_wait_table || !options_.share_wait_tables) {
+    return nullptr;
+  }
+  if (ctx.table_store != nullptr) {
+    return ctx.table_store;
+  }
+  if (options_.table_store != nullptr) {
+    return options_.table_store;
+  }
+  return &WaitTableStore::Global();
+}
+
+const WaitTable& CedarPolicy::StoreTableFor(WaitTableStore& store,
+                                            const AggregatorContext& ctx) {
+  double remaining = std::max(0.0, ctx.deadline - ctx.start_offset);
+  if (store_table_ != nullptr && store_key_.deadline == remaining) {
+    // Same query as the last validation: the curve behind the memo is still
+    // the one in flight. Across queries, re-validate by curve *content* (the
+    // store's keying discipline — a hit is the stationary-upper-curve case).
+    bool same_query = query_sequence_ != 0 && store_sequence_ == query_sequence_;
+    if (same_query || MatchesKey(store_key_, options_.table_spec, ctx.fanout,
+                                 *ctx.upper_quality, remaining, ctx.epsilon)) {
+      store_sequence_ = query_sequence_;
+      return *store_table_;
+    }
+  }
+  store_key_ = WaitTableKey::Of(options_.table_spec, ctx.fanout, *ctx.upper_quality,
+                                remaining, ctx.epsilon);
+  store_table_ = store.GetOrBuild(store_key_, *ctx.upper_quality);
+  store_sequence_ = query_sequence_;
+  return *store_table_;
+}
+
 const WaitTable& CedarPolicy::TableFor(const AggregatorContext& ctx) {
+  if (WaitTableStore* store = ResolveStore(ctx); store != nullptr) {
+    return StoreTableFor(*store, ctx);
+  }
   std::lock_guard<std::mutex> lock(table_cache_->mutex);
   TableCache& cache = *table_cache_;
   double remaining = std::max(0.0, ctx.deadline - ctx.start_offset);

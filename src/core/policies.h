@@ -30,6 +30,7 @@
 #include "src/core/policy.h"
 #include "src/core/wait_optimizer.h"
 #include "src/core/wait_table.h"
+#include "src/core/wait_table_store.h"
 
 namespace cedar {
 
@@ -108,6 +109,15 @@ struct CedarPolicyOptions {
   // table edge. table_spec.family must match learner.family.
   bool use_wait_table = false;
   WaitTableSpec table_spec;
+
+  // Resolve tables through the shared fingerprint-keyed WaitTableStore, so
+  // worker forks (and whole sweeps) amortize builds instead of each keeping
+  // a private TableCache. Tables are read-only and content-keyed, so results
+  // are bit-identical either way; disable only to measure the un-amortized
+  // baseline or to isolate a run from the process-wide store.
+  bool share_wait_tables = true;
+  // Store to use when sharing; null resolves ctx.table_store, then Global().
+  WaitTableStore* table_store = nullptr;
 };
 
 class CedarPolicy final : public WaitPolicy {
@@ -118,9 +128,10 @@ class CedarPolicy final : public WaitPolicy {
     return options_.learner.use_empirical_estimates ? "cedar-empirical" : "cedar";
   }
   std::unique_ptr<WaitPolicy> Clone() const override;
-  // A worker fork gets its own wait-table cache: the cached table references
-  // the upper-quality curve of the query currently in flight, which differs
-  // across concurrently running queries.
+  // A worker fork shares no mutable policy state: with the shared store
+  // (default) the fork re-resolves tables through the store — which is what
+  // lets N workers amortize one build — and with share_wait_tables=false it
+  // gets its own detached TableCache.
   std::unique_ptr<WaitPolicy> ForkForWorker() const override;
   void BeginQuery(const AggregatorContext& ctx, const QueryTruth* truth) override;
 
@@ -137,13 +148,14 @@ class CedarPolicy final : public WaitPolicy {
     return options_.learning_tier < 0 || tier == options_.learning_tier;
   }
 
-  // Shared across clones: the precomputed wait table for the current upper
-  // curve. The cache remembers which query it was last validated for; when a
-  // new query shows up it re-validates by curve *content*, never by address
-  // alone — per-query curve stacks are freed between queries, so a recycled
-  // allocation can otherwise alias a stale table. Worker threads never share
-  // a cache (ForkForWorker() detaches it); the mutex covers the
-  // one-prototype-many-node-clones sharing within a query.
+  // Store-off fallback, shared across clones: the precomputed wait table for
+  // the current upper curve. The cache remembers which query it was last
+  // validated for; when a new query shows up it re-validates by curve
+  // *content*, never by address alone — per-query curve stacks are freed
+  // between queries, so a recycled allocation can otherwise alias a stale
+  // table. Worker threads never share a cache (ForkForWorker() detaches it);
+  // the mutex covers the one-prototype-many-node-clones sharing within a
+  // query. Allocated only when use_wait_table && !share_wait_tables.
   struct TableCache {
     std::mutex mutex;
     uint64_t sequence = 0;           // query last validated for (0 = none)
@@ -156,10 +168,24 @@ class CedarPolicy final : public WaitPolicy {
   };
 
   const WaitTable& TableFor(const AggregatorContext& ctx);
+  const WaitTable& StoreTableFor(WaitTableStore& store, const AggregatorContext& ctx);
+
+  // The store this instance resolves tables through, or null when the run
+  // (or the options) opted out of sharing.
+  WaitTableStore* ResolveStore(const AggregatorContext& ctx) const;
 
   CedarPolicyOptions options_;
   std::unique_ptr<OnlineLearner> learner_;
   std::shared_ptr<TableCache> table_cache_;
+
+  // Per-instance memo of the last store-resolved table. Instances are owned
+  // by exactly one aggregator node (no concurrent callers), so no mutex: the
+  // memo just keeps the common per-arrival path at one deadline compare and
+  // one sequence compare instead of a store lookup.
+  WaitTableStore::TablePtr store_table_;
+  WaitTableKey store_key_;
+  uint64_t store_sequence_ = 0;  // query the memo was last validated for
+
   uint64_t query_sequence_ = 0;
   int effective_min_samples_ = 2;
   int arrivals_since_reopt_ = 0;

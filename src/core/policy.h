@@ -21,6 +21,8 @@
 
 namespace cedar {
 
+class WaitTableStore;
+
 // True per-query stage distributions, available only to the Oracle/Ideal
 // policy (and to metric code). stage_durations.size() == tree.num_stages().
 struct QueryTruth {
@@ -56,6 +58,10 @@ struct AggregatorContext {
   const PiecewiseLinear* upper_quality = nullptr;
   // Scan step for CalculateWait.
   double epsilon = 0.0;
+  // Experiment-scoped wait-table store, set by the driver when the run wants
+  // a specific (usually test- or bench-local) store instead of the process
+  // Global(). Null means "policy default".
+  WaitTableStore* table_store = nullptr;
 };
 
 class WaitPolicy {

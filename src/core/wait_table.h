@@ -16,6 +16,7 @@
 #define CEDAR_SRC_CORE_WAIT_TABLE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,8 @@
 #include "src/stats/distribution.h"
 
 namespace cedar {
+
+class ThreadPool;
 
 struct WaitTableSpec {
   DistributionFamily family = DistributionFamily::kLogNormal;
@@ -42,8 +45,14 @@ class WaitTable {
   // the parameterized bottom distribution, |upper_quality| above, remaining
   // deadline |deadline|, scan step |epsilon|. Cost: location_points *
   // scale_points CalculateWait scans, run once offline.
+  //
+  // |build_pool| (borrowed, may be null) parallelizes the grid fill: every
+  // grid point is an independent OptimizeWait scan written to its own slot,
+  // so the table is bit-identical to the serial build for any thread count.
+  // The fill uses ParallelForChunksShared, so building from inside a pool
+  // task (the wait-table store's single-flight path) cannot deadlock.
   WaitTable(WaitTableSpec spec, int fanout, const PiecewiseLinear& upper_quality,
-            double deadline, double epsilon);
+            double deadline, double epsilon, ThreadPool* build_pool = nullptr);
 
   // Bilinear interpolation of the precomputed wait at the fitted
   // parameters. Out-of-grid values clamp to the edge.
@@ -60,10 +69,14 @@ class WaitTable {
   double deadline() const { return deadline_; }
 
  private:
-  double& At(int li, int si) { return waits_[static_cast<size_t>(li * spec_.scale_points + si)]; }
-  double At(int li, int si) const {
-    return waits_[static_cast<size_t>(li * spec_.scale_points + si)];
+  // Index arithmetic in size_t: int * int would overflow (UB) before the
+  // widening cast on grids past ~2^31 cells.
+  size_t CellIndex(int li, int si) const {
+    return static_cast<size_t>(li) * static_cast<size_t>(spec_.scale_points) +
+           static_cast<size_t>(si);
   }
+  double& At(int li, int si) { return waits_[CellIndex(li, si)]; }
+  double At(int li, int si) const { return waits_[CellIndex(li, si)]; }
 
   WaitTableSpec spec_;
   double deadline_;

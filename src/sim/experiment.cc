@@ -66,7 +66,11 @@ ExperimentResult RunExperiment(const Workload& workload,
   AssignOutcomeNames(policies, result.outcomes);
 
   TreeSpec offline_tree = workload.OfflineTree();
-  TreeSimulation simulation(offline_tree, config.deadline, config.sim);
+  TreeSimulationOptions sim_options = config.sim;
+  if (config.wait_table_store != nullptr) {
+    sim_options.table_store = config.wait_table_store;
+  }
+  TreeSimulation simulation(offline_tree, config.deadline, sim_options);
 
   std::vector<QueryResult> grid = RunExperimentGrid<QueryResult>(
       workload, offline_tree, policies, config,

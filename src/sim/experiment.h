@@ -23,6 +23,7 @@
 namespace cedar {
 
 class ThreadPool;
+class WaitTableStore;
 
 // Knobs shared by every experiment driver (analytic simulator, cluster
 // engine): the concrete configs below and ClusterExperimentConfig extend it
@@ -40,6 +41,12 @@ struct ExperimentDriverConfig {
   // pool is borrowed: the caller keeps ownership and the driver leaves it
   // reusable. Results are bit-identical with or without it.
   ThreadPool* pool = nullptr;
+  // Optional experiment-scoped wait-table store, forwarded to policies via
+  // ctx.table_store (see AggregatorContext). Borrowed; null means policies
+  // resolve their default (the process-wide WaitTableStore::Global() when
+  // sharing is on). Tables are content-keyed and read-only, so results are
+  // bit-identical with any store — this knob only scopes the *amortization*.
+  WaitTableStore* wait_table_store = nullptr;
 };
 
 struct ExperimentConfig : ExperimentDriverConfig {

@@ -33,6 +33,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/core/wait_table_store.h"
 #include "src/obs/metrics.h"
 #include "src/sim/realization.h"
 #include "src/sim/workload.h"
@@ -104,12 +105,24 @@ std::vector<Row> RunExperimentGrid(const Workload& workload, const TreeSpec& off
     return grid;
   }
   auto run_on_pool = [&](ThreadPool& pool) {
+    // Lend the run's pool to the experiment-scoped wait-table store so
+    // single-flight builds parallelize their grid fill. Only an explicitly
+    // configured store is lent to — its lifetime (and exclusivity) is the
+    // caller's to guarantee — never the process Global(), which concurrent
+    // runs could otherwise point at a pool about to be destroyed.
+    WaitTableStore* store = config.wait_table_store;
+    if (store != nullptr) {
+      store->SetBuildPool(&pool);
+    }
     // Borrowed pools accumulate counters across calls, so export the delta
     // of this run only; post-barrier, never on the workers' hot path.
     const ThreadPool::Stats before = pool.GetStats();
     // A few chunks per worker gives the stealing deques something to balance
     // when query costs are skewed (e.g. Oracle planning on heavy-tail draws).
     ParallelForChunks(pool, num_queries, threads * 4, run_chunk);
+    if (store != nullptr) {
+      store->SetBuildPool(nullptr);
+    }
     if (MetricsEnabled()) {
       const ThreadPool::Stats after = pool.GetStats();
       MetricsRegistry& registry = MetricsRegistry::Global();

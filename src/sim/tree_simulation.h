@@ -64,6 +64,11 @@ struct TreeSimulationOptions {
   // falls back to the process-global ActiveTraceCollector(); when that is
   // also null, tracing is disabled and costs one pointer test per query.
   TraceCollector* trace = nullptr;
+
+  // Wait-table store handed to policies via ctx.table_store (borrowed, may
+  // be null = policies use their default). Lets a run pin table sharing to
+  // an experiment-scoped store instead of the process Global().
+  WaitTableStore* table_store = nullptr;
 };
 
 // Shared per-(offline tree, deadline) simulation state: the offline quality

@@ -6,6 +6,7 @@
 #   build    default build, warnings-as-errors (-DCEDAR_WERROR=ON)
 #   test     the full ctest suite in build/
 #   lint     ctest -L tier1_lint (cedar_lint tree scan + rule fixture suite)
+#   store    ctest -L tier1_store (wait-table store suite + microbench smoke run)
 #   asan     AddressSanitizer build in build-asan/, ctest -L tier1_asan
 #   ubsan    UndefinedBehaviorSanitizer build in build-ubsan/, ctest -L tier1_ubsan
 #   tsan     ThreadSanitizer build in build-tsan/, ctest -L tier1_tsan
@@ -110,6 +111,9 @@ run_stage test test_stage
 
 lint_stage() { ctest --test-dir "$ROOT/build" -L tier1_lint --output-on-failure; }
 run_stage lint lint_stage
+
+store_stage() { ctest --test-dir "$ROOT/build" -L tier1_store --output-on-failure; }
+run_stage store store_stage
 
 # --- sanitizer matrix -------------------------------------------------------
 sanitizer_stage() {
