@@ -22,10 +22,10 @@ ThreadPool::ThreadPool(int num_threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& thread : threads_) {
     thread.join();
   }
@@ -40,24 +40,24 @@ void ThreadPool::Submit(std::function<void()> task) {
   CEDAR_CHECK(task != nullptr);
   size_t target;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     CEDAR_CHECK(!stopping_) << "Submit after shutdown began";
     target = next_submit_;
     next_submit_ = (next_submit_ + 1) % workers_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    MutexLock lock(workers_[target]->mutex);
     workers_[target]->tasks.push_back(std::move(task));
   }
   // The task must be findable in a deque *before* pending_ rises: a worker
   // whose wait predicate sees pending_ > 0 will go looking for it.
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     ++outstanding_;
     pending_.fetch_add(1, std::memory_order_relaxed);
   }
   stat_submitted_.fetch_add(1, std::memory_order_relaxed);
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 ThreadPool::Stats ThreadPool::GetStats() const {
@@ -70,15 +70,17 @@ ThreadPool::Stats ThreadPool::GetStats() const {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(state_mutex_);
-  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(state_mutex_);
+  while (outstanding_ != 0) {
+    idle_cv_.Wait(lock);
+  }
 }
 
 std::function<void()> ThreadPool::TakeTask(size_t worker_index) {
   // Own deque first: LIFO for locality.
   {
     Worker& self = *workers_[worker_index];
-    std::lock_guard<std::mutex> lock(self.mutex);
+    MutexLock lock(self.mutex);
     if (!self.tasks.empty()) {
       auto task = std::move(self.tasks.back());
       self.tasks.pop_back();
@@ -91,7 +93,7 @@ std::function<void()> ThreadPool::TakeTask(size_t worker_index) {
   // next worker so contention spreads.
   for (size_t step = 1; step < workers_.size(); ++step) {
     Worker& victim = *workers_[(worker_index + step) % workers_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.tasks.empty()) {
       auto task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -108,13 +110,13 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     std::function<void()> task = TakeTask(worker_index);
     if (task == nullptr) {
       stat_idle_waits_.fetch_add(1, std::memory_order_relaxed);
-      std::unique_lock<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       // No lost wakeups: any submitted-but-untaken task keeps pending_ > 0,
       // and pending_ only rises under state_mutex_, so a worker cannot slip
-      // into wait() between the push and the notify without seeing it.
-      work_cv_.wait(lock, [this] {
-        return stopping_ || pending_.load(std::memory_order_relaxed) > 0;
-      });
+      // into Wait() between the push and the notify without seeing it.
+      while (!stopping_ && pending_.load(std::memory_order_relaxed) <= 0) {
+        work_cv_.Wait(lock);
+      }
       if (stopping_) {
         return;
       }
@@ -122,10 +124,10 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       --outstanding_;
       if (outstanding_ == 0) {
-        idle_cv_.notify_all();
+        idle_cv_.NotifyAll();
       }
     }
   }
@@ -184,9 +186,9 @@ void ParallelForChunksShared(ThreadPool* pool, long long total, int chunks,
     long long base = 0;
     long long remainder = 0;
     std::atomic<long long> next{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    long long done = 0;  // chunks fully executed (under mutex)
+    Mutex mutex;
+    CondVar done_cv;
+    long long done CEDAR_GUARDED_BY(mutex) = 0;  // chunks fully executed
   };
   auto state = std::make_shared<State>();
   state->body = body;
@@ -203,9 +205,9 @@ void ParallelForChunksShared(ThreadPool* pool, long long total, int chunks,
       const long long begin = c * s.base + std::min(c, s.remainder);
       const long long end = begin + s.base + (c < s.remainder ? 1 : 0);
       s.body(begin, end, static_cast<int>(c));
-      std::lock_guard<std::mutex> lock(s.mutex);
+      MutexLock lock(s.mutex);
       if (++s.done == s.n_chunks) {
-        s.done_cv.notify_all();
+        s.done_cv.NotifyAll();
       }
     }
   };
@@ -217,8 +219,10 @@ void ParallelForChunksShared(ThreadPool* pool, long long total, int chunks,
     pool->Submit([state, run_chunks] { run_chunks(*state); });
   }
   run_chunks(*state);
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done_cv.wait(lock, [&] { return state->done == state->n_chunks; });
+  MutexLock lock(state->mutex);
+  while (state->done != state->n_chunks) {
+    state->done_cv.Wait(lock);
+  }
 }
 
 }  // namespace cedar

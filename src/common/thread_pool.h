@@ -19,13 +19,14 @@
 #define CEDAR_SRC_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace cedar {
 
@@ -66,8 +67,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks CEDAR_GUARDED_BY(mutex);
   };
 
   void WorkerLoop(size_t worker_index);
@@ -79,13 +80,15 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex state_mutex_;
-  std::condition_variable work_cv_;  // signalled on Submit and shutdown
-  std::condition_variable idle_cv_;  // signalled when outstanding_ hits 0
-  size_t next_submit_ = 0;           // round-robin cursor (under state_mutex_)
-  long long outstanding_ = 0;        // submitted but not yet finished
+  Mutex state_mutex_;
+  CondVar work_cv_;  // signalled on Submit and shutdown
+  CondVar idle_cv_;  // signalled when outstanding_ hits 0
+  // Round-robin submission cursor.
+  size_t next_submit_ CEDAR_GUARDED_BY(state_mutex_) = 0;
+  // Submitted but not yet finished.
+  long long outstanding_ CEDAR_GUARDED_BY(state_mutex_) = 0;
   std::atomic<long long> pending_{0};  // submitted but not yet taken
-  bool stopping_ = false;
+  bool stopping_ CEDAR_GUARDED_BY(state_mutex_) = false;
 
   std::atomic<long long> stat_submitted_{0};
   std::atomic<long long> stat_executed_local_{0};

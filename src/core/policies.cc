@@ -162,7 +162,7 @@ const WaitTable& CedarPolicy::TableFor(const AggregatorContext& ctx) {
   if (WaitTableStore* store = ResolveStore(ctx); store != nullptr) {
     return StoreTableFor(*store, ctx);
   }
-  std::lock_guard<std::mutex> lock(table_cache_->mutex);
+  MutexLock lock(table_cache_->mutex);
   TableCache& cache = *table_cache_;
   double remaining = std::max(0.0, ctx.deadline - ctx.start_offset);
   bool key_match = cache.table != nullptr && cache.curve_key == ctx.upper_quality &&
@@ -270,7 +270,7 @@ void OraclePolicy::BeginQuery(const AggregatorContext& ctx, const QueryTruth* tr
 
 double OraclePolicy::InitialWait(const AggregatorContext& ctx) {
   CEDAR_CHECK(ctx.offline_tree != nullptr);
-  std::lock_guard<std::mutex> lock(cache_->mutex);
+  MutexLock lock(cache_->mutex);
   uint64_t sequence = truth_ != nullptr ? truth_->sequence : 0;
   if (sequence == 0 || cache_->sequence != sequence || cache_->deadline != ctx.deadline) {
     TreeSpec tree =

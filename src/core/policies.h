@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 #include "src/core/online_learner.h"
 #include "src/core/policy.h"
@@ -157,14 +159,15 @@ class CedarPolicy final : public WaitPolicy {
   // the mutex covers the one-prototype-many-node-clones sharing within a
   // query. Allocated only when use_wait_table && !share_wait_tables.
   struct TableCache {
-    std::mutex mutex;
-    uint64_t sequence = 0;           // query last validated for (0 = none)
-    const void* curve_key = nullptr;
-    double deadline = 0.0;
-    std::vector<double> curve_ys;    // content fingerprint of the curve
-    double curve_min_x = 0.0;
-    double curve_max_x = 0.0;
-    std::unique_ptr<WaitTable> table;
+    Mutex mutex;
+    uint64_t sequence CEDAR_GUARDED_BY(mutex) = 0;  // query last validated for (0 = none)
+    const void* curve_key CEDAR_GUARDED_BY(mutex) = nullptr;
+    double deadline CEDAR_GUARDED_BY(mutex) = 0.0;
+    // Content fingerprint of the curve.
+    std::vector<double> curve_ys CEDAR_GUARDED_BY(mutex);
+    double curve_min_x CEDAR_GUARDED_BY(mutex) = 0.0;
+    double curve_max_x CEDAR_GUARDED_BY(mutex) = 0.0;
+    std::unique_ptr<WaitTable> table CEDAR_GUARDED_BY(mutex);
   };
 
   const WaitTable& TableFor(const AggregatorContext& ctx);
@@ -210,10 +213,10 @@ class OraclePolicy final : public WaitPolicy {
 
  private:
   struct PlanCache {
-    std::mutex mutex;
-    uint64_t sequence = 0;  // 0 = empty/never reuse
-    double deadline = 0.0;
-    TreePlan plan;
+    Mutex mutex;
+    uint64_t sequence CEDAR_GUARDED_BY(mutex) = 0;  // 0 = empty/never reuse
+    double deadline CEDAR_GUARDED_BY(mutex) = 0.0;
+    TreePlan plan CEDAR_GUARDED_BY(mutex);
   };
 
   std::shared_ptr<PlanCache> cache_;

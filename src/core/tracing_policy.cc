@@ -6,17 +6,17 @@
 namespace cedar {
 
 void DecisionRecorder::Record(WaitDecisionRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   records_.push_back(record);
 }
 
 std::vector<WaitDecisionRecord> DecisionRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return records_;
 }
 
 std::vector<WaitDecisionRecord> DecisionRecorder::ForQuery(uint64_t query_sequence) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<WaitDecisionRecord> result;
   for (const auto& record : records_) {
     if (record.query_sequence == query_sequence) {
@@ -27,12 +27,12 @@ std::vector<WaitDecisionRecord> DecisionRecorder::ForQuery(uint64_t query_sequen
 }
 
 void DecisionRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   records_.clear();
 }
 
 size_t DecisionRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return records_.size();
 }
 

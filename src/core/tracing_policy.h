@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 #include "src/core/policy.h"
 
@@ -47,8 +49,8 @@ class DecisionRecorder {
   void WriteCsv(const std::string& path) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<WaitDecisionRecord> records_;
+  mutable Mutex mutex_;
+  std::vector<WaitDecisionRecord> records_ CEDAR_GUARDED_BY(mutex_);
 };
 
 // Wraps |inner|; delegates every call and records the resulting waits into

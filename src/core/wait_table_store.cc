@@ -109,7 +109,7 @@ WaitTableStore::TablePtr WaitTableStore::GetOrBuild(const WaitTableKey& key,
   std::shared_ptr<Entry> building;
   bool wait_for_other = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (auto& entry : shard.entries) {
       // Fingerprint first (cheap reject), full content compare to resolve
       // hash collisions — distinct keys sharing a fingerprint chain here.
@@ -148,7 +148,7 @@ WaitTableStore::TablePtr WaitTableStore::GetOrBuild(const WaitTableKey& key,
         build_pool_.load(std::memory_order_acquire));
     promise.set_value(table);
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       building->ready = true;
       EnforceCapacity(shard);
     }
@@ -174,7 +174,7 @@ WaitTableStore::TablePtr WaitTableStore::GetOrBuild(const WaitTableSpec& spec, i
                     upper_quality);
 }
 
-void WaitTableStore::EnforceCapacity(Shard& shard) {
+void WaitTableStore::EnforceCapacity(Shard& shard) CEDAR_REQUIRES(shard.mutex) {
   while (shard.entries.size() > per_shard_capacity_) {
     // Evict the least-recently-used *ready* entry; in-flight builds are
     // pinned (waiters hold their futures, and the builder will mark them
@@ -205,7 +205,7 @@ void WaitTableStore::EnforceCapacity(Shard& shard) {
 WaitTableStoreStats WaitTableStore::GetStats() const {
   WaitTableStoreStats stats;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.build_waits += shard.build_waits;
@@ -223,7 +223,7 @@ WaitTableStoreStats WaitTableStore::GetStats() const {
 size_t WaitTableStore::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.entries.size();
   }
   return total;
@@ -231,7 +231,7 @@ size_t WaitTableStore::size() const {
 
 void WaitTableStore::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.entries.clear();
     shard.tick = 0;
     shard.hits = 0;

@@ -34,10 +34,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/common/math_util.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/wait_table.h"
 
 namespace cedar {
@@ -152,22 +153,24 @@ class WaitTableStore {
   };
 
   struct alignas(64) Shard {
-    mutable std::mutex mutex;
-    std::vector<std::shared_ptr<Entry>> entries;  // chained: linear scan
-    uint64_t tick = 0;
-    long long hits = 0;
-    long long misses = 0;
-    long long build_waits = 0;
-    long long evictions = 0;
-    long long retired_clamped = 0;  // clamped_lookups of evicted tables
+    mutable Mutex mutex;
+    // Chained (linear scan) entry list and stats, all guarded by |mutex|.
+    std::vector<std::shared_ptr<Entry>> entries CEDAR_GUARDED_BY(mutex);
+    uint64_t tick CEDAR_GUARDED_BY(mutex) = 0;
+    long long hits CEDAR_GUARDED_BY(mutex) = 0;
+    long long misses CEDAR_GUARDED_BY(mutex) = 0;
+    long long build_waits CEDAR_GUARDED_BY(mutex) = 0;
+    long long evictions CEDAR_GUARDED_BY(mutex) = 0;
+    // clamped_lookups of evicted tables.
+    long long retired_clamped CEDAR_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardFor(uint64_t fingerprint) {
     return shards_[fingerprint % shards_.size()];
   }
   // Evicts least-recently-used *ready* entries until the shard is under its
-  // per-shard cap. Caller holds the shard mutex.
-  void EnforceCapacity(Shard& shard);
+  // per-shard cap.
+  void EnforceCapacity(Shard& shard) CEDAR_REQUIRES(shard.mutex);
 
   WaitTableStoreOptions options_;
   size_t per_shard_capacity_;

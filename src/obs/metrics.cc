@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <thread>
 
@@ -265,7 +266,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Counter>();
@@ -274,7 +275,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Gauge>();
@@ -283,7 +284,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name, HistogramOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(options);
@@ -292,7 +293,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name, HistogramOptio
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -321,7 +322,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();
   }
@@ -331,6 +332,12 @@ void MetricsRegistry::Reset() {
   for (auto& [name, histogram] : histograms_) {
     histogram->Reset();
   }
+}
+
+std::string LabeledMetricName(const std::string& name, const std::string& key, double value) {
+  char formatted[64];
+  std::snprintf(formatted, sizeof(formatted), "%g", value);
+  return name + "{" + key + "=" + formatted + "}";
 }
 
 }  // namespace cedar

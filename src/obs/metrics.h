@@ -24,10 +24,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace cedar {
 
@@ -204,12 +206,18 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // std::map: snapshots iterate in name order, keeping reports deterministic.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ CEDAR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ CEDAR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ CEDAR_GUARDED_BY(mutex_);
 };
+
+// Canonical labeled metric name: "name{key=value}", with |value| formatted
+// %g so 250 and 250.0 collapse to one series. Used for the per-deadline
+// experiment metrics (e.g. sim.queries{deadline_ms=250}); labeled series are
+// emitted alongside the unlabeled totals, never instead of them.
+std::string LabeledMetricName(const std::string& name, const std::string& key, double value);
 
 }  // namespace cedar
 

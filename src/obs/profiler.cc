@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 
+#include "src/common/mutex.h"
 #include "src/common/table.h"
+#include "src/common/thread_annotations.h"
 
 namespace cedar {
 namespace {
@@ -14,8 +15,8 @@ std::atomic<bool> g_profiling_enabled{false};
 // Registry of every constructed site. Sites are function-local statics, so
 // registration happens a handful of times per process; a mutex is fine.
 struct SiteRegistry {
-  std::mutex mutex;
-  std::vector<ProfileSite*> sites;
+  Mutex mutex;
+  std::vector<ProfileSite*> sites CEDAR_GUARDED_BY(mutex);
 };
 
 SiteRegistry& Registry() {
@@ -40,7 +41,7 @@ int64_t SteadyNowNs() {
 
 ProfileSite::ProfileSite(const char* name) : name_(name) {
   SiteRegistry& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   registry.sites.push_back(this);
 }
 
@@ -63,7 +64,7 @@ std::vector<ProfileSample> CollectProfileSamples() {
   std::vector<ProfileSample> samples;
   {
     SiteRegistry& registry = Registry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     samples.reserve(registry.sites.size());
     for (const ProfileSite* site : registry.sites) {
       if (site->calls() == 0) {
@@ -100,7 +101,7 @@ void WriteProfileReport(std::ostream& out) {
 
 void ResetProfile() {
   SiteRegistry& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   for (ProfileSite* site : registry.sites) {
     site->Reset();
   }

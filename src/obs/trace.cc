@@ -51,7 +51,7 @@ TraceArg TraceArg::Str(std::string key, std::string value) {
 }
 
 void TraceCollector::Emit(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
@@ -59,7 +59,7 @@ void TraceCollector::EmitBatch(std::vector<TraceEvent> events) {
   if (events.empty()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.insert(events_.end(), std::make_move_iterator(events.begin()),
                  std::make_move_iterator(events.end()));
 }
@@ -67,7 +67,7 @@ void TraceCollector::EmitBatch(std::vector<TraceEvent> events) {
 std::vector<TraceEvent> TraceCollector::Snapshot() const {
   std::vector<TraceEvent> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     snapshot = events_;
   }
   std::stable_sort(snapshot.begin(), snapshot.end(),
@@ -81,12 +81,12 @@ std::vector<TraceEvent> TraceCollector::Snapshot() const {
 }
 
 size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
 }
 

@@ -18,10 +18,12 @@
 #define CEDAR_SRC_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace cedar {
 
@@ -77,8 +79,8 @@ class TraceCollector {
   void WriteCsv(const std::string& path) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ CEDAR_GUARDED_BY(mutex_);
 };
 
 // Process-global collector used when an engine's options carry none: tools

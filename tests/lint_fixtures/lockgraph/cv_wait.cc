@@ -1,0 +1,28 @@
+// Fixture: lockgraph-cv-wait rule. Never compiled; scanned by lint_test.
+// A condition-variable wait releases only the lock passed to it; any other
+// mutex held across the wait stays held for the full (unbounded) sleep.
+#include <condition_variable>
+#include <mutex>
+
+class WorkQueue {
+ public:
+  void DrainHoldingStats() {
+    std::lock_guard<std::mutex> stats(stats_mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock);  // fires: stats_mutex_ still held across the wait
+    drained_ += 1;
+  }
+
+  void DrainClean() {
+    // Only the CV's own mutex is held: nothing to flag.
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock);
+    drained_ += 1;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::mutex stats_mutex_;
+  std::condition_variable cv_;
+  long long drained_ = 0;
+};

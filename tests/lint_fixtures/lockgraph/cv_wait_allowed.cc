@@ -1,0 +1,20 @@
+// Fixture: lockgraph-cv-wait rule, suppressed per-line (say the outer lock
+// is only ever taken by this one thread, documented at the call site).
+#include <condition_variable>
+#include <mutex>
+
+class SlowQueue {
+ public:
+  void DrainHoldingStats() {
+    std::lock_guard<std::mutex> stats(stats_mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock);  // cedar-lint: allow(lockgraph-cv-wait)
+    drained_ += 1;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::mutex stats_mutex_;
+  std::condition_variable cv_;
+  long long drained_ = 0;
+};

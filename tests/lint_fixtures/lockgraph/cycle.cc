@@ -1,0 +1,46 @@
+// Fixture: lockgraph-cycle rule. Never compiled; scanned by lint_test.
+// Two methods acquire the same pair of mutexes in opposite orders, the
+// classic AB/BA deadlock. Both inner acquisitions witness an edge that
+// closes the cycle, so both are flagged.
+#include <mutex>
+
+class Account {
+ public:
+  void TransferOut() {
+    std::lock_guard<std::mutex> first(a_);
+    std::lock_guard<std::mutex> second(b_);  // fires: edge a_ -> b_
+    balance_ -= 1;
+  }
+
+  void TransferIn() {
+    std::lock_guard<std::mutex> first(b_);
+    std::lock_guard<std::mutex> second(a_);  // fires: edge b_ -> a_
+    balance_ += 1;
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  long long balance_ = 0;
+};
+
+class Consistent {
+ public:
+  // Same order everywhere: no cycle, no diagnostic.
+  void Deposit() {
+    std::lock_guard<std::mutex> first(a_);
+    std::lock_guard<std::mutex> second(b_);
+    total_ += 1;
+  }
+
+  void Withdraw() {
+    std::lock_guard<std::mutex> first(a_);
+    std::lock_guard<std::mutex> second(b_);
+    total_ -= 1;
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  long long total_ = 0;
+};

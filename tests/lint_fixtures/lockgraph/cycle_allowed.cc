@@ -1,0 +1,25 @@
+// Fixture: lockgraph-cycle rule, suppressed per-line. Same AB/BA shape as
+// cycle.cc; the allow markers sit on the witnessing acquisitions (say a
+// proven-unreachable pairing, documented at the call site).
+#include <mutex>
+
+class Ledger {
+ public:
+  void TransferOut() {
+    std::lock_guard<std::mutex> first(a_);
+    // cedar-lint: allow(lockgraph-cycle)
+    std::lock_guard<std::mutex> second(b_);
+    balance_ -= 1;
+  }
+
+  void TransferIn() {
+    std::lock_guard<std::mutex> first(b_);
+    std::lock_guard<std::mutex> second(a_);  // cedar-lint: allow(lockgraph-cycle)
+    balance_ += 1;
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  long long balance_ = 0;
+};

@@ -1,0 +1,28 @@
+// Fixture: lockgraph-unguarded-field rule. Never compiled; scanned by
+// lint_test. A field written both under its dominant mutex and bare is the
+// classic forgotten-lock race; a field written under the lock everywhere
+// (or never) stays quiet.
+#include <mutex>
+
+class Cache {
+ public:
+  void Hit() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++hits_;
+    ++lookups_;
+  }
+
+  void Miss() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++lookups_;
+  }
+
+  void HitRacy() {
+    ++hits_;  // fires: 1 of 2 writes to hits_ holds Cache::mutex_
+  }
+
+ private:
+  std::mutex mutex_;
+  long long hits_ = 0;
+  long long lookups_ = 0;
+};

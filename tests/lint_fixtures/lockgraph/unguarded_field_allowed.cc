@@ -1,0 +1,19 @@
+// Fixture: lockgraph-unguarded-field rule, suppressed per-line (say the
+// bare write happens before any other thread can see the object).
+#include <mutex>
+
+class WarmCache {
+ public:
+  void Hit() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++hits_;
+  }
+
+  void PrefillSingleThreaded() {
+    hits_ = 0;  // cedar-lint: allow(lockgraph-unguarded-field)
+  }
+
+ private:
+  std::mutex mutex_;
+  long long hits_ = 0;
+};

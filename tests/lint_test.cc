@@ -6,6 +6,9 @@
 #include "tools/lint/lint.h"
 
 #include <algorithm>
+
+#include "tools/lint/lockgraph.h"
+#include "tools/lint/stripped_source.h"
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -191,6 +194,162 @@ TEST(LintRules, AllRulesHaveKnownSlugs) {
   for (const char* rule : {"wallclock", "rng", "ptr-hash", "unordered-iter", "raw-new",
                            "stdout", "fork-override", "include-guard", "self-contained"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end()) << rule;
+  }
+}
+
+// ---- lockgraph pass --------------------------------------------------------
+
+// Runs |rule| of the lockgraph pass alone over one fixture and checks the
+// diagnostics land exactly on the marked lines (same contract as CheckRule).
+void CheckLockgraphRule(const std::string& fixture, const std::string& virtual_path,
+                        const std::string& rule) {
+  SCOPED_TRACE(fixture + " as " + virtual_path + " rule=" + rule);
+  const std::string content = ReadFixture(fixture);
+  const std::set<int> expected = MarkedLines(content);
+  ASSERT_FALSE(expected.empty()) << "fixture has no 'fires' markers";
+
+  LockgraphRun run;
+  run.SetRuleFilter(rule);
+  run.AddFile(virtual_path, content);
+  std::vector<Diagnostic> diagnostics = run.Run();
+
+  std::set<int> reported;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    EXPECT_EQ(diagnostic.rule, rule);
+    EXPECT_EQ(diagnostic.file, virtual_path);
+    reported.insert(diagnostic.line);
+  }
+  EXPECT_EQ(reported, expected);
+}
+
+void CheckLockgraphQuiet(const std::string& fixture, const std::string& virtual_path,
+                         const std::string& rule) {
+  SCOPED_TRACE(fixture + " as " + virtual_path + " rule=" + rule);
+  LockgraphRun run;
+  run.SetRuleFilter(rule);
+  run.AddFile(virtual_path, ReadFixture(fixture));
+  for (const Diagnostic& diagnostic : run.Run()) {
+    ADD_FAILURE() << diagnostic.ToString();
+  }
+}
+
+TEST(LockgraphRules, CycleFiresOnBothWitnesses) {
+  CheckLockgraphRule("lockgraph/cycle.cc", "src/core/cycle_fixture.cc", "lockgraph-cycle");
+}
+
+TEST(LockgraphRules, CycleSuppressedPerLine) {
+  CheckLockgraphQuiet("lockgraph/cycle_allowed.cc", "src/core/cycle_allowed_fixture.cc",
+                      "lockgraph-cycle");
+}
+
+TEST(LockgraphRules, CvWaitFiresWhileHoldingUnrelatedLock) {
+  CheckLockgraphRule("lockgraph/cv_wait.cc", "src/core/cv_wait_fixture.cc",
+                     "lockgraph-cv-wait");
+}
+
+TEST(LockgraphRules, CvWaitSuppressedPerLine) {
+  CheckLockgraphQuiet("lockgraph/cv_wait_allowed.cc", "src/core/cv_wait_allowed_fixture.cc",
+                      "lockgraph-cv-wait");
+}
+
+TEST(LockgraphRules, UnguardedFieldFiresOnBareWrite) {
+  CheckLockgraphRule("lockgraph/unguarded_field.cc", "src/core/unguarded_fixture.cc",
+                     "lockgraph-unguarded-field");
+}
+
+TEST(LockgraphRules, UnguardedFieldSuppressedPerLine) {
+  CheckLockgraphQuiet("lockgraph/unguarded_field_allowed.cc",
+                      "src/core/unguarded_allowed_fixture.cc", "lockgraph-unguarded-field");
+}
+
+TEST(LockgraphRules, RuleSlugsAreStable) {
+  const std::vector<std::string>& rules = LockgraphRules();
+  EXPECT_EQ(rules.size(), 3u);
+  for (const char* rule :
+       {"lockgraph-cycle", "lockgraph-cv-wait", "lockgraph-unguarded-field"}) {
+    EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end()) << rule;
+  }
+}
+
+// A CEDAR_REQUIRES clause on an out-of-line definition seeds the held-lock
+// set, so a helper that writes guarded fields on behalf of a locked caller
+// is not misread as a bare write (the wait-table store's EnforceCapacity
+// shape).
+TEST(LockgraphRules, RequiresClauseSeedsHeldLocks) {
+  LockgraphRun run;
+  run.AddFile("src/core/requires_fixture.cc",
+              "#include <mutex>\n"
+              "class Store {\n"
+              " public:\n"
+              "  void Locked() {\n"
+              "    std::lock_guard<std::mutex> lock(mutex_);\n"
+              "    ++entries_;\n"
+              "  }\n"
+              " private:\n"
+              "  void Compact() CEDAR_REQUIRES(mutex_);\n"
+              "  std::mutex mutex_;\n"
+              "  long long entries_ = 0;\n"
+              "};\n"
+              "void Store::Compact() CEDAR_REQUIRES(mutex_) {\n"
+              "  entries_ -= 1;\n"
+              "}\n");
+  for (const Diagnostic& diagnostic : run.Run()) {
+    ADD_FAILURE() << diagnostic.ToString();
+  }
+}
+
+// Regression: encoding-prefixed raw string literals (u8R"(...)") must not
+// desync the lexer. The literal body holds an unbalanced '{' and a bare '"';
+// if either leaked into the stripped text, scope tracking would derail and
+// the bare write below the literal would be misattributed or lost.
+TEST(LockgraphRules, PrefixedRawStringDoesNotDesyncScopes) {
+  LockgraphRun run;
+  run.SetRuleFilter("lockgraph-unguarded-field");
+  run.AddFile("src/core/raw_string_fixture.cc",
+              "#include <mutex>\n"
+              "class Raw {\n"
+              " public:\n"
+              "  void Log() {\n"
+              "    const char* query = u8R\"sql(SELECT \"x\" { FROM t)sql\";\n"
+              "    (void)query;\n"
+              "    ++count_;\n"
+              "  }\n"
+              "  void Bump() {\n"
+              "    std::lock_guard<std::mutex> lock(mutex_);\n"
+              "    ++count_;\n"
+              "  }\n"
+              " private:\n"
+              "  std::mutex mutex_;\n"
+              "  long long count_ = 0;\n"
+              "};\n");
+  std::vector<Diagnostic> diagnostics = run.Run();
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "lockgraph-unguarded-field");
+  EXPECT_EQ(diagnostics[0].line, 7);
+}
+
+// The same lexer property, checked at the stripping layer: the raw body is
+// blanked, surrounding code survives.
+TEST(StripSource, PrefixedRawStringBodyIsBlanked) {
+  StrippedSource stripped = StripSource(
+      "int before = 1;\n"
+      "const char* s = u8R\"(unbalanced { \" brace)\";\n"
+      "int after = 2;\n");
+  ASSERT_EQ(stripped.lines.size(), 3u);
+  EXPECT_EQ(stripped.lines[0], "int before = 1;");
+  EXPECT_EQ(stripped.lines[1].find('{'), std::string::npos);
+  EXPECT_NE(stripped.lines[1].find("u8R"), std::string::npos);
+  EXPECT_EQ(stripped.lines[2], "int after = 2;");
+}
+
+TEST(LockgraphTree, RepositoryIsCleanWhenSourcesPresent) {
+  const std::string root = std::string(CEDAR_LINT_FIXTURE_DIR) + "/../..";
+  int files_scanned = 0;
+  std::vector<Diagnostic> diagnostics =
+      LockgraphTree(root, {"src", "bench", "tools", "tests"}, "", &files_scanned);
+  ASSERT_GT(files_scanned, 0);
+  for (const Diagnostic& diagnostic : diagnostics) {
+    ADD_FAILURE() << diagnostic.ToString();
   }
 }
 

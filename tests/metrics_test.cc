@@ -214,6 +214,27 @@ TEST(MetricsSnapshotTest, CsvExport) {
   EXPECT_EQ(doc.rows[1][static_cast<size_t>(doc.ColumnIndex("count"))], "1");
 }
 
+TEST(LabeledMetricNameTest, FormatsKeyValueSuffix) {
+  EXPECT_EQ(LabeledMetricName("sim.queries", "deadline_ms", 250.0),
+            "sim.queries{deadline_ms=250}");
+  EXPECT_EQ(LabeledMetricName("sim.queries", "deadline_ms", 2.5),
+            "sim.queries{deadline_ms=2.5}");
+}
+
+TEST(LabeledMetricNameTest, EquivalentDoublesCollapseToOneSeries) {
+  // %g formatting: 250 and 250.0 must be the same series name.
+  EXPECT_EQ(LabeledMetricName("n", "deadline_ms", 250),
+            LabeledMetricName("n", "deadline_ms", 250.0));
+}
+
+TEST(LabeledMetricNameTest, LabeledSeriesIsDistinctFromUnlabeled) {
+  MetricsRegistry registry;
+  registry.GetCounter("sim.queries").Increment(3);
+  registry.GetCounter(LabeledMetricName("sim.queries", "deadline_ms", 250.0)).Increment(2);
+  EXPECT_EQ(registry.GetCounter("sim.queries").Value(), 3);
+  EXPECT_EQ(registry.GetCounter("sim.queries{deadline_ms=250}").Value(), 2);
+}
+
 TEST(MetricsEnabledTest, DefaultsOffAndToggles) {
   EXPECT_FALSE(MetricsEnabled());
   SetMetricsEnabled(true);

@@ -6,11 +6,13 @@
 #   build    default build, warnings-as-errors (-DCEDAR_WERROR=ON)
 #   test     the full ctest suite in build/
 #   lint     ctest -L tier1_lint (cedar_lint tree scan + rule fixture suite)
+#   lockgraph ctest -L tier1_lockgraph (lock-discipline tree scan + fixtures)
 #   store    ctest -L tier1_store (wait-table store suite + microbench smoke run)
 #   asan     AddressSanitizer build in build-asan/, ctest -L tier1_asan
 #   ubsan    UndefinedBehaviorSanitizer build in build-ubsan/, ctest -L tier1_ubsan
 #   tsan     ThreadSanitizer build in build-tsan/, ctest -L tier1_tsan
 #   tidy     clang-tidy over every target in build-tidy/ (-DCEDAR_CLANG_TIDY=ON)
+#   tsafety  clang -Wthread-safety build in build-tsafety/ (-DCEDAR_THREAD_SAFETY=ON)
 #
 # Stages whose external tool is not installed (clang-format, clang-tidy) are
 # reported SKIP rather than failing: the container bakes in only the gcc
@@ -47,7 +49,7 @@ summary() {
   echo "==== check.sh stage summary ===="
   local i
   for i in "${!STAGE_NAMES[@]}"; do
-    printf '  %-8s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+    printf '  %-9s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
   done
 }
 
@@ -112,6 +114,9 @@ run_stage test test_stage
 lint_stage() { ctest --test-dir "$ROOT/build" -L tier1_lint --output-on-failure; }
 run_stage lint lint_stage
 
+lockgraph_stage() { ctest --test-dir "$ROOT/build" -L tier1_lockgraph --output-on-failure; }
+run_stage lockgraph lockgraph_stage
+
 store_stage() { ctest --test-dir "$ROOT/build" -L tier1_store --output-on-failure; }
 run_stage store store_stage
 
@@ -139,6 +144,22 @@ if wanted tidy; then
   fi
 else
   record tidy "SKIP (--only)"
+fi
+
+# --- clang thread-safety analysis -------------------------------------------
+tsafety_stage() {
+  cmake -B "$ROOT/build-tsafety" -S "$ROOT" -DCMAKE_CXX_COMPILER=clang++ \
+      -DCEDAR_THREAD_SAFETY=ON -DCEDAR_WERROR=ON \
+    && cmake --build "$ROOT/build-tsafety" -j "$JOBS"
+}
+if wanted tsafety; then
+  if command -v clang++ > /dev/null 2>&1; then
+    run_stage tsafety tsafety_stage
+  else
+    skip_stage tsafety "clang++ not installed"
+  fi
+else
+  record tsafety "SKIP (--only)"
 fi
 
 summary

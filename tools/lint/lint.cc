@@ -2,185 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <regex>
 #include <sstream>
 #include <utility>
 
+#include "tools/lint/stripped_source.h"
+
 namespace cedar {
 namespace lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Source preprocessing: blank out comments and string/char literals so rule
-// regexes only ever see code, and harvest `cedar-lint: allow(...)` markers
-// from the comment text while doing so.
-
-struct StrippedSource {
-  std::vector<std::string> lines;
-  std::map<int, std::set<std::string>> line_allows;
-  std::set<std::string> file_allows;
-};
-
-void ParseAllowMarkers(const std::string& comment, int line, StrippedSource& out) {
-  static const std::regex kAllow("cedar-lint:\\s*(allow|allow-file)\\(([^)]*)\\)");
-  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
-       it != std::sregex_iterator(); ++it) {
-    const bool file_scope = (*it)[1].str() == "allow-file";
-    std::istringstream rules((*it)[2].str());
-    std::string rule;
-    while (std::getline(rules, rule, ',')) {
-      const size_t begin = rule.find_first_not_of(" \t");
-      const size_t end = rule.find_last_not_of(" \t");
-      if (begin == std::string::npos) {
-        continue;
-      }
-      rule = rule.substr(begin, end - begin + 1);
-      if (file_scope) {
-        out.file_allows.insert(rule);
-      } else {
-        out.line_allows[line].insert(rule);
-      }
-    }
-  }
-}
-
-// A '\'' right after an identifier or number is a C++14 digit separator
-// (1'000'000) or an apostrophe in prose, never a char-literal start.
-bool StartsCharLiteral(const std::string& line, size_t i) {
-  if (i == 0) {
-    return true;
-  }
-  const char prev = line[i - 1];
-  return !(std::isalnum(static_cast<unsigned char>(prev)) || prev == '_');
-}
-
-StrippedSource StripSource(const std::string& content) {
-  StrippedSource out;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;       // for R"delim( ... )delim"
-  std::string comment_buffer;  // text of the comment currently being read
-  int comment_start_line = 1;
-
-  std::vector<std::string> raw_lines;
-  {
-    std::istringstream in(content);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty() && line.back() == '\r') {
-        line.pop_back();
-      }
-      raw_lines.push_back(line);
-    }
-  }
-
-  auto flush_comment = [&](int end_line) {
-    // A line allow applies to the line the comment *ends* on (trailing
-    // comments) which is also where a full-line comment sits.
-    ParseAllowMarkers(comment_buffer, end_line, out);
-    (void)comment_start_line;
-    comment_buffer.clear();
-  };
-
-  for (size_t line_index = 0; line_index < raw_lines.size(); ++line_index) {
-    const std::string& line = raw_lines[line_index];
-    const int line_number = static_cast<int>(line_index) + 1;
-    std::string stripped(line.size(), ' ');
-
-    if (state == State::kLineComment) {  // line comments never span lines
-      state = State::kCode;
-    }
-
-    for (size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            state = State::kLineComment;
-            comment_start_line = line_number;
-            comment_buffer.append(line.substr(i + 2));
-            i = line.size();
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            comment_start_line = line_number;
-            ++i;
-          } else if (c == 'R' && next == '"' &&
-                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(line[i - 1])) &&
-                                 line[i - 1] != '_'))) {
-            const size_t paren = line.find('(', i + 2);
-            raw_delim = ")";
-            if (paren != std::string::npos) {
-              raw_delim.append(line, i + 2, paren - i - 2);
-            }
-            raw_delim.push_back('"');
-            state = State::kRawString;
-            stripped[i] = 'R';
-            i = paren == std::string::npos ? line.size() : paren;
-          } else if (c == '"') {
-            state = State::kString;
-            stripped[i] = '"';
-          } else if (c == '\'' && StartsCharLiteral(line, i)) {
-            state = State::kChar;
-            stripped[i] = '\'';
-          } else {
-            stripped[i] = c;
-          }
-          break;
-        case State::kLineComment:
-          break;  // unreachable: handled at line start / via i = line.size()
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            flush_comment(line_number);
-            ++i;
-          } else {
-            comment_buffer.push_back(c);
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            state = State::kCode;
-            stripped[i] = '"';
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            state = State::kCode;
-            stripped[i] = '\'';
-          }
-          break;
-        case State::kRawString: {
-          const size_t end = line.find(raw_delim, i);
-          if (end == std::string::npos) {
-            i = line.size();
-          } else {
-            i = end + raw_delim.size() - 1;
-            state = State::kCode;
-          }
-          break;
-        }
-      }
-    }
-
-    if (state == State::kLineComment) {
-      flush_comment(line_number);
-    } else if (state == State::kBlockComment) {
-      comment_buffer.push_back('\n');
-    }
-    out.lines.push_back(std::move(stripped));
-  }
-  if (state == State::kBlockComment) {
-    flush_comment(static_cast<int>(raw_lines.size()));
-  }
-  return out;
-}
 
 // ---------------------------------------------------------------------------
 // Path predicates deciding which rules apply where.
@@ -292,10 +122,14 @@ void LintRun::AddFile(const std::string& path, const std::string& content) {
   state.lines = std::move(stripped.lines);
   state.line_allows = std::move(stripped.line_allows);
   state.file_allows = std::move(stripped.file_allows);
+  // Include paths must come from the raw text: the stripper blanks string
+  // literals, which erases the path inside #include "...".
   static const std::regex kInclude("^\\s*#\\s*include\\s*[<\"]([^>\"]+)[>\"]");
-  for (const std::string& line : state.lines) {
+  std::istringstream raw(content);
+  std::string raw_line;
+  while (std::getline(raw, raw_line)) {
     std::smatch match;
-    if (std::regex_search(line, match, kInclude)) {
+    if (std::regex_search(raw_line, match, kInclude)) {
       state.includes.insert(match[1].str());
     }
   }
@@ -468,11 +302,21 @@ void LintRun::CheckSelfContained(const FileState& file) {
       {"std::ostringstream", std::regex("\\bstd::[io]?stringstream\\b"), {"sstream"}},
       {"fixed-width ints", std::regex("\\b(u?int(8|16|32|64)_t)\\b"),
        {"cstdint", "stdint.h"}},
+      {"cedar::Mutex/MutexLock/CondVar",
+       std::regex("\\bcedar::(Mutex|MutexLock|CondVar)\\b|"
+                  "\\b(Mutex|MutexLock|CondVar)\\s+\\w+\\s*[;({]"),
+       {"src/common/mutex.h"}},
+      {"CEDAR_GUARDED_BY et al.",
+       std::regex("\\bCEDAR_(CAPABILITY|SCOPED_CAPABILITY|GUARDED_BY|PT_GUARDED_BY|REQUIRES|"
+                  "ACQUIRE|RELEASE|TRY_ACQUIRE|EXCLUDES|RETURN_CAPABILITY|"
+                  "NO_THREAD_SAFETY_ANALYSIS)\\b"),
+       {"src/common/thread_annotations.h", "src/common/mutex.h"}},
   };
   for (const Symbol& symbol : *symbols) {
     bool provided = false;
     for (const std::string& provider : symbol.providers) {
-      if (file.includes.count(provider) != 0) {
+      // A provider header is allowed to name its own symbols.
+      if (file.includes.count(provider) != 0 || file.path == provider) {
         provided = true;
         break;
       }
@@ -599,41 +443,11 @@ std::vector<Diagnostic> LintRun::Run() {
 
 std::vector<Diagnostic> LintTree(const std::string& root, const std::vector<std::string>& dirs,
                                  const std::string& rule_filter, int* out_files_scanned) {
-  namespace fs = std::filesystem;
   LintRun run;
   run.SetRuleFilter(rule_filter);
   int scanned = 0;
-  std::vector<std::string> paths;
-  for (const std::string& dir : dirs) {
-    const fs::path base = fs::path(root) / dir;
-    if (!fs::exists(base)) {
-      continue;
-    }
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) {
-        continue;
-      }
-      const std::string extension = entry.path().extension().string();
-      if (extension != ".cc" && extension != ".h") {
-        continue;
-      }
-      const std::string relative =
-          fs::relative(entry.path(), fs::path(root)).generic_string();
-      // Fixture files violate rules on purpose; build trees hold generated
-      // code we do not own.
-      if (relative.find("lint_fixtures") != std::string::npos ||
-          relative.find("build") == 0 || relative.find("/build/") != std::string::npos) {
-        continue;
-      }
-      paths.push_back(relative);
-    }
-  }
-  std::sort(paths.begin(), paths.end());
-  for (const std::string& relative : paths) {
-    std::ifstream in(fs::path(root) / relative, std::ios::binary);
-    std::ostringstream content;
-    content << in.rdbuf();
-    run.AddFile(relative, content.str());
+  for (const std::string& relative : ListSourceFiles(root, dirs)) {
+    run.AddFile(relative, ReadSourceFile(root, relative));
     ++scanned;
   }
   if (out_files_scanned != nullptr) {

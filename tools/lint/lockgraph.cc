@@ -1,0 +1,1124 @@
+#include "tools/lint/lockgraph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "tools/lint/stripped_source.h"
+
+namespace cedar {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small text helpers.
+
+std::string Trim(const std::string& text) {
+  const size_t begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const size_t end = text.find_last_not_of(" \t");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::string FirstWord(const std::string& text) {
+  size_t i = 0;
+  while (i < text.size() && (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_')) {
+    ++i;
+  }
+  return text.substr(0, i);
+}
+
+// Removes CEDAR_*(...) annotation macros and alignas(...) so declaration
+// shapes are regular again.
+std::string StripAnnotations(const std::string& text) {
+  static const std::regex kMacro("\\b(?:CEDAR_[A-Z_]+|alignas)\\s*(\\([^()]*\\))?");
+  return std::regex_replace(text, kMacro, " ");
+}
+
+// Removes balanced <...> template argument lists. Bails (returns the input
+// unchanged) when the angles do not balance — e.g. comparison operators —
+// so this is only safe for declaration-shaped text, never expressions.
+std::string StripTemplateAngles(const std::string& text) {
+  std::string out;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '<') {
+      ++depth;
+      continue;
+    }
+    if (c == '>') {
+      if (depth == 0) {
+        return text;  // imbalance: not a template argument list
+      }
+      --depth;
+      continue;
+    }
+    if (depth == 0) {
+      out.push_back(c);
+    }
+  }
+  return depth == 0 ? out : text;
+}
+
+std::string CollapseSpaces(const std::string& text) {
+  std::string out;
+  bool pending = false;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending = !out.empty();
+    } else {
+      if (pending) {
+        out.push_back(' ');
+        pending = false;
+      }
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Splits on top-level commas (ignoring commas nested in parens/braces).
+std::vector<std::string> SplitTopLevel(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(' || c == '{' || c == '[') {
+      ++depth;
+    } else if (c == ')' || c == '}' || c == ']') {
+      --depth;
+    }
+    if (c == ',' && depth <= 0) {
+      parts.push_back(Trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!Trim(current).empty()) {
+    parts.push_back(Trim(current));
+  }
+  return parts;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Extracted facts shared across the two scan phases.
+
+struct ClassInfo {
+  std::string short_name;
+  std::set<std::string> mutexes;  // member mutex names
+  std::set<std::string> cvs;      // member condition-variable names
+  std::set<std::string> atomics;  // std::atomic members (exempt from guarding)
+  std::set<std::string> fields;   // plain data members
+};
+
+struct Resolved {
+  std::string id;        // global lock identity, e.g. "ThreadPool::state_mutex_"
+  std::string owner;     // qualified class owning the mutex ("" if none)
+  std::string receiver;  // receiver expression text ("" for bare / this->)
+};
+
+struct EdgeWitness {
+  std::string file;
+  int line = 0;
+};
+
+struct WriteSite {
+  std::string file;
+  int line = 0;
+  bool locked = false;
+  std::string lock_id;  // which lock was held, for dominant-mutex voting
+};
+
+struct PendingDiag {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct GlobalState {
+  std::map<std::string, ClassInfo> classes;                    // qualified name ->
+  std::map<std::string, std::set<std::string>> file_globals;   // file -> mutex names
+  std::map<std::pair<std::string, std::string>, EdgeWitness> edges;  // (held, acquired)
+  std::map<std::pair<std::string, std::string>, std::vector<WriteSite>> writes;
+  std::vector<PendingDiag> cv_diags;
+
+  // Resolves a bare class short name among mutex-owning classes; "" unless
+  // the match is unique.
+  std::string ResolveLockedClass(const std::string& word) const {
+    if (classes.count(word) != 0 && !classes.at(word).mutexes.empty()) {
+      return word;
+    }
+    std::string found;
+    for (const auto& entry : classes) {
+      if (entry.second.mutexes.empty() || entry.second.short_name != word) {
+        continue;
+      }
+      if (!found.empty()) {
+        return "";  // ambiguous
+      }
+      found = entry.first;
+    }
+    return found;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ScopeWalker: brace-matched statement segmentation over stripped source.
+//
+// Feeds subclasses a stream of flushed statements plus scope open/close
+// events. Statements flush at top-level ';'; braces inside parentheses or
+// initializer heads are "transparent" (the text keeps accumulating), so
+// `std::atomic<int> x{0};` and lambdas-in-arguments stay one statement.
+
+enum class ScopeKind { kNamespace, kClass, kEnum, kFunction, kBlock, kInit };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::string head;  // raw statement text that preceded the '{'
+  std::string name;  // class short name / function name
+  std::string qualified;  // for kClass: '::'-joined class nesting (no namespaces)
+  bool is_lambda = false;
+  int line = 0;
+};
+
+class ScopeWalker {
+ public:
+  virtual ~ScopeWalker() = default;
+
+  void Walk(const std::vector<std::string>& lines) {
+    scopes_.clear();
+    std::string buffer;
+    int buffer_line = 0;
+    int paren_depth = 0;
+    int transparent_depth = 0;
+    bool continuation = false;
+    auto flush = [&]() {
+      const std::string statement = Trim(buffer);
+      buffer.clear();
+      const int line = buffer_line;
+      buffer_line = 0;
+      if (!statement.empty()) {
+        OnStatement(statement, line == 0 ? 1 : line);
+      }
+    };
+    for (size_t index = 0; index < lines.size(); ++index) {
+      const std::string& line = lines[index];
+      const int line_number = static_cast<int>(index) + 1;
+      if (continuation) {  // body of a multi-line preprocessor directive
+        continuation = !line.empty() && line.back() == '\\';
+        continue;
+      }
+      const size_t first = line.find_first_not_of(" \t");
+      if (first != std::string::npos && line[first] == '#') {
+        continuation = !line.empty() && line.back() == '\\';
+        continue;
+      }
+      for (size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == ';' && paren_depth == 0 && transparent_depth == 0) {
+          flush();
+          continue;
+        }
+        if (c == '{') {
+          if (paren_depth > 0 || transparent_depth > 0) {
+            ++transparent_depth;
+            buffer.push_back('{');
+            continue;
+          }
+          Scope scope = Classify(Trim(buffer), buffer_line ? buffer_line : line_number);
+          if (scope.kind == ScopeKind::kInit) {
+            ++transparent_depth;  // initializer list: keep accumulating
+            buffer.push_back('{');
+            continue;
+          }
+          buffer.clear();
+          buffer_line = 0;
+          if (scope.kind == ScopeKind::kClass) {
+            const std::string enclosing = EnclosingClass();
+            scope.qualified = enclosing.empty() ? scope.name : enclosing + "::" + scope.name;
+          }
+          scopes_.push_back(scope);
+          OnScopeOpen(scopes_.back());
+          continue;
+        }
+        if (c == '}') {
+          if (transparent_depth > 0) {
+            --transparent_depth;
+            buffer.push_back('}');
+            continue;
+          }
+          flush();
+          if (!scopes_.empty()) {
+            const Scope top = scopes_.back();
+            scopes_.pop_back();
+            OnScopeClose(top);
+          }
+          continue;
+        }
+        if (c == '(') {
+          ++paren_depth;
+        } else if (c == ')' && paren_depth > 0) {
+          --paren_depth;
+        }
+        buffer.push_back(c);
+        if (buffer_line == 0 && !std::isspace(static_cast<unsigned char>(c))) {
+          buffer_line = line_number;
+        }
+      }
+      if (!buffer.empty() && buffer.back() != ' ') {
+        buffer.push_back(' ');
+      }
+    }
+    flush();
+  }
+
+ protected:
+  virtual void OnScopeOpen(const Scope& scope) { (void)scope; }
+  virtual void OnScopeClose(const Scope& scope) { (void)scope; }
+  virtual void OnStatement(const std::string& statement, int line) {
+    (void)statement;
+    (void)line;
+  }
+
+  const std::vector<Scope>& scopes() const { return scopes_; }
+
+  // Innermost enclosing class qualification, "" when outside any class.
+  std::string EnclosingClass() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == ScopeKind::kClass) {
+        return it->qualified;
+      }
+    }
+    return "";
+  }
+
+ private:
+  static Scope Classify(const std::string& head, int line) {
+    Scope scope;
+    scope.head = head;
+    scope.line = line;
+    scope.kind = ScopeKind::kBlock;
+    if (head.empty()) {
+      return scope;
+    }
+    static const std::set<std::string>* control = new std::set<std::string>{
+        "if", "for", "while", "switch", "do", "try", "catch", "else", "case", "default"};
+    if (control->count(FirstWord(head)) != 0) {
+      return scope;
+    }
+    static const std::regex kEnumHead("\\benum\\b");
+    if (std::regex_search(head, kEnumHead)) {
+      scope.kind = ScopeKind::kEnum;  // enum BEFORE class: `enum class X` is an enum
+      return scope;
+    }
+    const std::string clean = Trim(StripAnnotations(head));
+    static const std::regex kClassHead("\\b(?:class|struct|union)\\s+([A-Za-z_]\\w*)");
+    std::smatch match;
+    if (clean.find('(') == std::string::npos && clean.find('=') == std::string::npos &&
+        std::regex_search(clean, match, kClassHead)) {
+      scope.kind = ScopeKind::kClass;
+      scope.name = match[1].str();
+      return scope;
+    }
+    static const std::regex kNamespaceHead("\\bnamespace\\b");
+    if (clean.find('(') == std::string::npos && std::regex_search(clean, kNamespaceHead)) {
+      scope.kind = ScopeKind::kNamespace;
+      return scope;
+    }
+    static const std::regex kLambdaHead(
+        "(^|[=(,\\s])\\[[^\\]]*\\]\\s*(\\([^()]*\\))?\\s*"
+        "(mutable|noexcept|constexpr|\\s)*(->[^{}]*)?$");
+    if (std::regex_search(clean, kLambdaHead)) {
+      scope.kind = ScopeKind::kFunction;
+      scope.is_lambda = true;
+      return scope;
+    }
+    const size_t paren = clean.find('(');
+    if (paren != std::string::npos) {
+      size_t end = paren;
+      while (end > 0 && std::isspace(static_cast<unsigned char>(clean[end - 1]))) {
+        --end;
+      }
+      size_t begin = end;
+      while (begin > 0 && IsIdentChar(clean[begin - 1])) {
+        --begin;
+      }
+      if (begin > 0 && clean[begin - 1] == '~') {
+        --begin;
+      }
+      std::string name = clean.substr(begin, end - begin);
+      if (name.empty() && clean.find("operator") != std::string::npos) {
+        name = "operator";
+      }
+      if (!name.empty()) {
+        scope.kind = ScopeKind::kFunction;
+        scope.name = name;
+        return scope;
+      }
+    }
+    scope.kind = ScopeKind::kInit;  // brace initializer: transparent
+    return scope;
+  }
+
+  std::vector<Scope> scopes_;
+};
+
+// ---------------------------------------------------------------------------
+// Phase A: harvest class members (mutexes, cvs, atomics, plain fields) and
+// namespace-scope mutex globals.
+
+const std::regex& MutexDeclPattern() {
+  static const std::regex* pattern =
+      new std::regex("\\b(?:std::mutex|(?:cedar::)?Mutex)\\s+([A-Za-z_]\\w*)\\s*$");
+  return *pattern;
+}
+
+class ClassScanner : public ScopeWalker {
+ public:
+  ClassScanner(GlobalState& state, std::string file) : state_(state), file_(std::move(file)) {}
+
+ protected:
+  void OnStatement(const std::string& statement, int line) override {
+    (void)line;
+    const ScopeKind innermost = scopes().empty() ? ScopeKind::kNamespace : scopes().back().kind;
+    if (innermost == ScopeKind::kNamespace) {
+      std::smatch match;
+      const std::string text = Trim(StripAnnotations(statement));
+      if (std::regex_search(text, match, MutexDeclPattern())) {
+        state_.file_globals[file_].insert(match[1].str());
+      }
+      return;
+    }
+    if (innermost != ScopeKind::kClass) {
+      return;
+    }
+    ParseMember(statement);
+  }
+
+ private:
+  void ParseMember(const std::string& statement) {
+    static const std::regex kAccess("\\b(public|private|protected)\\s*:");
+    std::string text = std::regex_replace(statement, kAccess, " ");
+    text = Trim(StripAnnotations(text));
+    if (text.empty()) {
+      return;
+    }
+    ClassInfo& info = state_.classes[EnclosingClass()];
+    info.short_name = scopes().back().name;
+    std::smatch match;
+    if (std::regex_search(text, match, MutexDeclPattern())) {
+      info.mutexes.insert(match[1].str());
+      return;
+    }
+    static const std::regex kCondVar(
+        "\\b(?:std::condition_variable(?:_any)?|(?:cedar::)?CondVar)\\s+([A-Za-z_]\\w*)\\s*$");
+    if (std::regex_search(text, match, kCondVar)) {
+      info.cvs.insert(match[1].str());
+      return;
+    }
+    const std::string flat = Trim(StripTemplateAngles(text));
+    static const std::regex kAtomic("\\b(?:std::)?atomic\\s+([A-Za-z_]\\w*)");
+    if (std::regex_search(flat, match, kAtomic)) {
+      info.atomics.insert(match[1].str());
+      return;
+    }
+    if (flat.find('(') != std::string::npos) {
+      return;  // method declaration, = default, etc.
+    }
+    static const std::set<std::string>* rejected = new std::set<std::string>{
+        "friend",   "using", "typedef", "static",  "template", "operator",
+        "explicit", "virtual", "class", "struct",  "union",    "enum",
+        "return",   "public", "private", "protected"};
+    if (rejected->count(FirstWord(flat)) != 0) {
+      return;
+    }
+    static const std::regex kField(
+        "^[\\w:,\\s&*]+[\\s&*]([A-Za-z_]\\w*)\\s*(\\[[^\\]]*\\])?\\s*(=.*|\\{.*\\})?$");
+    if (std::regex_match(flat, match, kField)) {
+      info.fields.insert(match[1].str());
+    }
+  }
+
+  GlobalState& state_;
+  std::string file_;
+};
+
+// ---------------------------------------------------------------------------
+// Phase B: walk function bodies tracking held locks, record lock-order edges,
+// condition-variable waits, and member-field writes.
+
+struct Held {
+  Resolved lock;
+  std::string guard;  // guard variable name; "" when seeded by CEDAR_REQUIRES
+  size_t depth = 0;   // scope-stack size at acquisition (for scope-exit release)
+};
+
+struct FunctionCtx {
+  std::string cls;  // qualified class the function belongs to ("" for free)
+  bool ctor_dtor = false;
+  bool lambda = false;
+  std::map<std::string, std::string> locals;    // name -> resolved locked class ("")
+  std::map<std::string, Resolved> guard_ids;    // guard var -> lock (for re-lock)
+  std::vector<Held> held;
+};
+
+class FunctionScanner : public ScopeWalker {
+ public:
+  FunctionScanner(GlobalState& state, std::string file)
+      : state_(state), file_(std::move(file)) {}
+
+ protected:
+  void OnScopeOpen(const Scope& scope) override {
+    if (scope.kind == ScopeKind::kBlock && !ctxs_.empty()) {
+      // Range-for declarations bind a loop variable the body writes through:
+      // `for (Shard& shard : shards_)`.
+      static const std::regex kRangeFor(
+          "\\bfor\\s*\\(\\s*(?:const\\s+)?((?:\\w+(?:::\\w+)*))\\s*[&*]*"
+          "\\s+([A-Za-z_]\\w*)\\s*:");
+      std::smatch match;
+      const std::string clean = StripTemplateAngles(StripAnnotations(scope.head));
+      if (std::regex_search(clean, match, kRangeFor)) {
+        ctxs_.back().locals[match[2].str()] = ResolveTypeWords(match[1].str());
+      }
+      return;
+    }
+    if (scope.kind != ScopeKind::kFunction) {
+      return;
+    }
+    FunctionCtx ctx;
+    if (scope.is_lambda) {
+      ctx.lambda = true;
+      if (!ctxs_.empty()) {  // resolve captured names in the enclosing frame
+        ctx.cls = ctxs_.back().cls;
+        ctx.locals = ctxs_.back().locals;
+      }
+      ctxs_.push_back(std::move(ctx));
+      return;
+    }
+    const std::string clean = Trim(StripTemplateAngles(StripAnnotations(scope.head)));
+    ctx.cls = EnclosingClass();
+    if (ctx.cls.empty()) {  // out-of-class body: resolve `Qualifier::Name(`
+      static const std::regex kQualified("([A-Za-z_]\\w*)\\s*::\\s*~?[A-Za-z_]\\w*\\s*\\(");
+      std::smatch match;
+      if (std::regex_search(clean, match, kQualified)) {
+        ctx.cls = state_.ResolveLockedClass(match[1].str());
+      }
+    }
+    if (!ctx.cls.empty()) {
+      const size_t sep = ctx.cls.rfind("::");
+      const std::string short_name = sep == std::string::npos ? ctx.cls : ctx.cls.substr(sep + 2);
+      ctx.ctor_dtor = scope.name == short_name || scope.name == "~" + short_name;
+    }
+    ParseParams(clean, ctx);
+    ctxs_.push_back(std::move(ctx));
+    // CEDAR_REQUIRES seeds the held set; parse from the raw head (the
+    // annotation-stripped copy has lost it).
+    static const std::regex kRequires("CEDAR_REQUIRES\\s*\\(([^()]*)\\)");
+    for (auto it = std::sregex_iterator(scope.head.begin(), scope.head.end(), kRequires);
+         it != std::sregex_iterator(); ++it) {
+      for (const std::string& arg : SplitTopLevel((*it)[1].str())) {
+        Held held;
+        held.lock = ResolveLockExpr(arg, ctxs_.back());
+        held.depth = scopes().size();
+        ctxs_.back().held.push_back(std::move(held));
+      }
+    }
+  }
+
+  void OnScopeClose(const Scope& scope) override {
+    if (ctxs_.empty()) {
+      return;
+    }
+    if (scope.kind == ScopeKind::kFunction) {
+      ctxs_.pop_back();
+      return;
+    }
+    // Block exit: RAII guards declared inside it release.
+    std::vector<Held>& held = ctxs_.back().held;
+    held.erase(std::remove_if(held.begin(), held.end(),
+                              [&](const Held& h) { return h.depth > scopes().size(); }),
+               held.end());
+  }
+
+  void OnStatement(const std::string& statement, int line) override {
+    if (ctxs_.empty()) {
+      return;
+    }
+    const ScopeKind innermost = scopes().empty() ? ScopeKind::kNamespace : scopes().back().kind;
+    if (innermost != ScopeKind::kFunction && innermost != ScopeKind::kBlock) {
+      return;  // class members, enumerators, namespace decls
+    }
+    FunctionCtx& ctx = ctxs_.back();
+    const std::string flat = Trim(StripTemplateAngles(StripAnnotations(statement)));
+    RegisterLocal(flat, ctx);
+    ScanGuardDecls(flat, line, ctx);
+    ScanManualLockOps(statement, ctx);
+    ScanCvWait(statement, line, ctx);
+    if (!ctx.ctor_dtor && !ctx.lambda) {
+      ScanWrites(statement, line, ctx);
+    }
+  }
+
+ private:
+  // --- name resolution ---------------------------------------------------
+
+  Resolved ResolveLockExpr(const std::string& raw, const FunctionCtx& ctx) const {
+    Resolved out;
+    std::string text = Trim(raw);
+    static const std::regex kThis("^(?:&\\s*)?(?:\\*\\s*)?(?:this\\s*->\\s*)?");
+    text = std::regex_replace(text, kThis, "", std::regex_constants::format_first_only);
+    static const std::regex kBare("^[A-Za-z_]\\w*$");
+    static const std::regex kMember("^([A-Za-z_]\\w*)(?:\\.|->)([A-Za-z_]\\w*)$");
+    std::smatch match;
+    if (std::regex_match(text, kBare)) {
+      if (ctx.locals.count(text) == 0) {
+        if (!ctx.cls.empty()) {
+          auto it = state_.classes.find(ctx.cls);
+          if (it != state_.classes.end() && it->second.mutexes.count(text) != 0) {
+            out.id = ctx.cls + "::" + text;
+            out.owner = ctx.cls;
+            return out;
+          }
+        }
+        auto globals = state_.file_globals.find(file_);
+        if (globals != state_.file_globals.end() && globals->second.count(text) != 0) {
+          out.id = file_ + "::" + text;
+          return out;
+        }
+      }
+      out.id = file_ + "::" + text;  // local or unresolved: file-scoped identity
+      return out;
+    }
+    if (std::regex_match(text, match, kMember)) {
+      const std::string object = match[1].str();
+      const std::string member = match[2].str();
+      auto local = ctx.locals.find(object);
+      if (local != ctx.locals.end() && !local->second.empty()) {
+        auto it = state_.classes.find(local->second);
+        if (it != state_.classes.end() && it->second.mutexes.count(member) != 0) {
+          out.id = local->second + "::" + member;
+          out.owner = local->second;
+          out.receiver = object;
+          return out;
+        }
+      }
+      out.id = file_ + "::" + CollapseSpaces(text);
+      out.receiver = object;
+      return out;
+    }
+    out.id = file_ + "::" + CollapseSpaces(text);
+    return out;
+  }
+
+  std::string ResolveTypeWords(const std::string& type) const {
+    const size_t sep = type.rfind("::");
+    return state_.ResolveLockedClass(sep == std::string::npos ? type : type.substr(sep + 2));
+  }
+
+  void ParseParams(const std::string& clean_head, FunctionCtx& ctx) const {
+    const size_t open = clean_head.find('(');
+    if (open == std::string::npos) {
+      return;
+    }
+    int depth = 0;
+    size_t close = open;
+    for (size_t i = open; i < clean_head.size(); ++i) {
+      if (clean_head[i] == '(') {
+        ++depth;
+      } else if (clean_head[i] == ')' && --depth == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (close == open) {
+      return;
+    }
+    for (const std::string& param : SplitTopLevel(clean_head.substr(open + 1, close - open - 1))) {
+      static const std::regex kParam(
+          "^(?:const\\s+)?((?:\\w+(?:::\\w+)*))\\s*[&*]*\\s*([A-Za-z_]\\w*)$");
+      std::smatch match;
+      if (std::regex_match(param, match, kParam)) {
+        ctx.locals[match[2].str()] = ResolveTypeWords(match[1].str());
+      }
+    }
+  }
+
+  void RegisterLocal(const std::string& flat, FunctionCtx& ctx) const {
+    static const std::regex kLocal(
+        "^(?:const\\s+|static\\s+|mutable\\s+)*((?:\\w+(?:::\\w+)*))\\s*[&*]*"
+        "\\s+([A-Za-z_]\\w*)\\s*(?:[=({\\[].*)?$");
+    static const std::set<std::string>* rejected = new std::set<std::string>{
+        "return", "delete", "throw", "new", "goto", "else", "case", "using", "typedef"};
+    std::smatch match;
+    if (!std::regex_match(flat, match, kLocal) || rejected->count(match[1].str()) != 0) {
+      return;
+    }
+    ctx.locals[match[2].str()] = ResolveTypeWords(match[1].str());
+  }
+
+  // --- lock tracking ------------------------------------------------------
+
+  void Acquire(FunctionCtx& ctx, const Resolved& lock, const std::string& guard, int line) {
+    for (const Held& held : ctx.held) {
+      const auto key = std::make_pair(held.lock.id, lock.id);
+      if (state_.edges.count(key) == 0) {
+        state_.edges[key] = EdgeWitness{file_, line};
+      }
+    }
+    Held held;
+    held.lock = lock;
+    held.guard = guard;
+    held.depth = scopes().size();
+    ctx.held.push_back(std::move(held));
+    if (!guard.empty()) {
+      ctx.guard_ids[guard] = lock;
+      ctx.locals[guard] = "";  // guards are locals too: never write targets
+    }
+  }
+
+  void ScanGuardDecls(const std::string& flat, int line, FunctionCtx& ctx) {
+    static const std::regex kStdGuard(
+        "\\b(?:std::)?(lock_guard|unique_lock|scoped_lock)\\s+([A-Za-z_]\\w*)\\s*"
+        "[({]([^(){}]*)[)}]");
+    static const std::regex kMutexLock(
+        "\\b(?:cedar::)?MutexLock\\s+([A-Za-z_]\\w*)\\s*\\(([^()]*)\\)");
+    std::smatch match;
+    if (std::regex_search(flat, match, kStdGuard)) {
+      const std::string kind = match[1].str();
+      const std::string guard = match[2].str();
+      std::vector<std::string> args = SplitTopLevel(match[3].str());
+      if (args.empty()) {
+        return;
+      }
+      for (const std::string& arg : args) {
+        if (arg.find("defer_lock") != std::string::npos) {
+          ctx.guard_ids[guard] = ResolveLockExpr(args[0], ctx);  // armed, not held
+          ctx.locals[guard] = "";
+          return;
+        }
+      }
+      if (kind == "scoped_lock") {
+        // Atomic multi-acquisition: edges from previously-held locks to each
+        // argument, but none among the arguments themselves.
+        const std::vector<Held> before = ctx.held;
+        for (const std::string& arg : args) {
+          if (arg.find("adopt_lock") != std::string::npos) {
+            continue;
+          }
+          std::vector<Held> argument_free = ctx.held;
+          ctx.held = before;
+          Acquire(ctx, ResolveLockExpr(arg, ctx), guard, line);
+          argument_free.push_back(ctx.held.back());
+          ctx.held = std::move(argument_free);
+        }
+      } else {
+        Acquire(ctx, ResolveLockExpr(args[0], ctx), guard, line);
+      }
+      return;
+    }
+    if (std::regex_search(flat, match, kMutexLock)) {
+      const std::vector<std::string> args = SplitTopLevel(match[2].str());
+      if (!args.empty()) {
+        Acquire(ctx, ResolveLockExpr(args[0], ctx), match[1].str(), line);
+      }
+    }
+  }
+
+  void ScanManualLockOps(const std::string& statement, FunctionCtx& ctx) {
+    static const std::regex kUnlock("([A-Za-z_]\\w*)\\s*\\.\\s*unlock\\s*\\(\\s*\\)");
+    for (auto it = std::sregex_iterator(statement.begin(), statement.end(), kUnlock);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      std::vector<Held>& held = ctx.held;
+      const size_t before = held.size();
+      held.erase(std::remove_if(held.begin(), held.end(),
+                                [&](const Held& h) { return h.guard == name && !name.empty(); }),
+                 held.end());
+      if (held.size() == before) {  // not a guard: maybe a mutex unlocked directly
+        const std::string id = ResolveLockExpr(name, ctx).id;
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [&](const Held& h) { return h.lock.id == id; }),
+                   held.end());
+      }
+    }
+    static const std::regex kRelock("([A-Za-z_]\\w*)\\s*\\.\\s*lock\\s*\\(\\s*\\)");
+    for (auto it = std::sregex_iterator(statement.begin(), statement.end(), kRelock);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      auto guard = ctx.guard_ids.find(name);
+      if (guard == ctx.guard_ids.end()) {
+        continue;
+      }
+      const bool already = std::any_of(ctx.held.begin(), ctx.held.end(),
+                                       [&](const Held& h) { return h.guard == name; });
+      if (!already) {
+        Acquire(ctx, guard->second, name, 0);
+      }
+    }
+  }
+
+  void ScanCvWait(const std::string& statement, int line, FunctionCtx& ctx) {
+    static const std::regex kWait(
+        "[A-Za-z_]\\w*\\s*(?:\\.|->)\\s*[Ww]ait(?:_for|_until)?\\s*\\(\\s*"
+        "([A-Za-z_]\\w*)\\s*[,)]");
+    std::smatch match;
+    if (!std::regex_search(statement, match, kWait)) {
+      return;
+    }
+    const std::string guard = match[1].str();
+    const Held* waited = nullptr;
+    for (const Held& h : ctx.held) {
+      if (h.guard == guard) {
+        waited = &h;
+        break;
+      }
+    }
+    if (waited == nullptr) {
+      return;
+    }
+    for (const Held& other : ctx.held) {
+      if (other.lock.id == waited->lock.id) {
+        continue;
+      }
+      state_.cv_diags.push_back(PendingDiag{
+          file_, line, "lockgraph-cv-wait",
+          "condition-variable wait releases '" + waited->lock.id + "' but still holds '" +
+              other.lock.id +
+              "'; a sleeping waiter blocks every other user of that lock indefinitely"});
+    }
+  }
+
+  // --- write extraction ---------------------------------------------------
+
+  void RecordWrite(const std::vector<std::string>& chain, int line, const FunctionCtx& ctx) {
+    std::string cls;
+    std::string field;
+    std::string receiver;
+    if (chain.size() == 1) {
+      const std::string& name = chain[0];
+      if (ctx.locals.count(name) != 0 || ctx.cls.empty()) {
+        return;
+      }
+      cls = ctx.cls;
+      field = name;
+    } else if (chain.size() == 2) {
+      auto local = ctx.locals.find(chain[0]);
+      if (local == ctx.locals.end() || local->second.empty()) {
+        return;
+      }
+      cls = local->second;
+      field = chain[1];
+      receiver = chain[0];
+    } else {
+      return;
+    }
+    auto it = state_.classes.find(cls);
+    if (it == state_.classes.end() || it->second.mutexes.empty() ||
+        it->second.fields.count(field) == 0 || it->second.atomics.count(field) != 0) {
+      return;
+    }
+    WriteSite site;
+    site.file = file_;
+    site.line = line;
+    for (const Held& h : ctx.held) {
+      if (h.lock.owner == cls && h.lock.receiver == receiver) {
+        site.locked = true;
+        site.lock_id = h.lock.id;
+        break;
+      }
+    }
+    state_.writes[std::make_pair(cls, field)].push_back(std::move(site));
+  }
+
+  // Parses an identifier chain (a, a.b, a->b) ending just before |end|;
+  // empty when the target is complex (array element, call result).
+  static std::vector<std::string> ChainEndingAt(const std::string& text, size_t end) {
+    std::vector<std::string> chain;
+    size_t i = end;
+    while (true) {
+      while (i > 0 && std::isspace(static_cast<unsigned char>(text[i - 1]))) {
+        --i;
+      }
+      size_t stop = i;
+      while (i > 0 && IsIdentChar(text[i - 1])) {
+        --i;
+      }
+      if (stop == i) {
+        return {};  // no identifier: complex target
+      }
+      chain.insert(chain.begin(), text.substr(i, stop - i));
+      while (i > 0 && std::isspace(static_cast<unsigned char>(text[i - 1]))) {
+        --i;
+      }
+      if (i > 0 && text[i - 1] == '.') {
+        --i;
+        continue;
+      }
+      if (i > 1 && text[i - 1] == '>' && text[i - 2] == '-') {
+        i -= 2;
+        continue;
+      }
+      if (i > 0 && (text[i - 1] == ']' || text[i - 1] == ')')) {
+        return {};  // a[i] = / f() = : give up rather than misattribute
+      }
+      return chain;
+    }
+  }
+
+  static std::vector<std::string> ChainStartingAt(const std::string& text, size_t start) {
+    std::vector<std::string> chain;
+    size_t i = start;
+    while (true) {
+      while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      const size_t begin = i;
+      while (i < text.size() && IsIdentChar(text[i])) {
+        ++i;
+      }
+      if (i == begin) {
+        return {};
+      }
+      chain.push_back(text.substr(begin, i - begin));
+      while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      if (i < text.size() && text[i] == '.') {
+        ++i;
+        continue;
+      }
+      if (i + 1 < text.size() && text[i] == '-' && text[i + 1] == '>') {
+        i += 2;
+        continue;
+      }
+      return chain;
+    }
+  }
+
+  void ScanWrites(const std::string& statement, int line, const FunctionCtx& ctx) {
+    for (size_t i = 0; i < statement.size(); ++i) {
+      const char c = statement[i];
+      const char prev = i > 0 ? statement[i - 1] : '\0';
+      const char next = i + 1 < statement.size() ? statement[i + 1] : '\0';
+      if (c == '=' ) {
+        if (next == '=' || prev == '=' || prev == '!' || prev == '<' || prev == '>') {
+          continue;  // comparison or shift-assign; also skips the 2nd '=' of ==
+        }
+        size_t target_end = i;
+        if (prev == '+' || prev == '-' || prev == '*' || prev == '/' || prev == '%' ||
+            prev == '&' || prev == '|' || prev == '^') {
+          target_end = i - 1;  // compound assignment
+        }
+        RecordWrite(ChainEndingAt(statement, target_end), line, ctx);
+        continue;
+      }
+      if ((c == '+' && next == '+') || (c == '-' && next == '-')) {
+        std::vector<std::string> chain = ChainStartingAt(statement, i + 2);
+        if (chain.empty()) {
+          chain = ChainEndingAt(statement, i);  // postfix
+        }
+        RecordWrite(chain, line, ctx);
+        ++i;
+        continue;
+      }
+    }
+    static const std::regex kMutate(
+        "\\b((?:[A-Za-z_]\\w*(?:\\.|->))*[A-Za-z_]\\w*)\\s*\\.\\s*"
+        "(push_back|pop_back|push_front|pop_front|clear|erase|insert|emplace|emplace_back|"
+        "emplace_front|resize|reserve|assign|swap|store|fetch_add|fetch_sub|exchange)\\s*\\(");
+    for (auto it = std::sregex_iterator(statement.begin(), statement.end(), kMutate);
+         it != std::sregex_iterator(); ++it) {
+      std::vector<std::string> chain;
+      std::string token;
+      const std::string object = (*it)[1].str();
+      std::string normalized = object;
+      size_t arrow = 0;
+      while ((arrow = normalized.find("->")) != std::string::npos) {
+        normalized.replace(arrow, 2, ".");
+      }
+      std::istringstream parts(normalized);
+      while (std::getline(parts, token, '.')) {
+        chain.push_back(token);
+      }
+      RecordWrite(chain, line, ctx);
+    }
+  }
+
+  GlobalState& state_;
+  std::string file_;
+  std::vector<FunctionCtx> ctxs_;
+};
+
+// ---------------------------------------------------------------------------
+// Reporting: cycle detection over the global edge set, pending cv-wait
+// diagnostics, and the unguarded-field vote.
+
+bool Reaches(const std::map<std::string, std::set<std::string>>& adjacency,
+             const std::string& start, const std::string& target) {
+  if (start == target) {
+    return true;
+  }
+  std::set<std::string> visited{start};
+  std::vector<std::string> frontier{start};
+  while (!frontier.empty()) {
+    const std::string node = frontier.back();
+    frontier.pop_back();
+    auto it = adjacency.find(node);
+    if (it == adjacency.end()) {
+      continue;
+    }
+    for (const std::string& next : it->second) {
+      if (next == target) {
+        return true;
+      }
+      if (visited.insert(next).second) {
+        frontier.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<Diagnostic> Report(const GlobalState& state, const std::string& rule_filter,
+                               const std::map<std::string, StrippedSource>& stripped) {
+  std::vector<Diagnostic> diagnostics;
+  auto emit = [&](const std::string& file, int line, const std::string& rule,
+                  const std::string& message) {
+    if (!rule_filter.empty() && rule_filter != rule) {
+      return;
+    }
+    auto it = stripped.find(file);
+    if (it != stripped.end() && IsAllowed(it->second, line, rule)) {
+      return;
+    }
+    diagnostics.push_back(Diagnostic{file, line, rule, message});
+  };
+
+  std::map<std::string, std::set<std::string>> adjacency;
+  for (const auto& edge : state.edges) {
+    adjacency[edge.first.first].insert(edge.first.second);
+  }
+  for (const auto& edge : state.edges) {
+    const std::string& held = edge.first.first;
+    const std::string& acquired = edge.first.second;
+    if (!Reaches(adjacency, acquired, held)) {
+      continue;
+    }
+    const std::string message =
+        held == acquired
+            ? "lock '" + acquired + "' is acquired while already held (self-deadlock)"
+            : "acquiring '" + acquired + "' while holding '" + held +
+                  "' closes a cycle in the global lock-acquisition order (potential deadlock)";
+    emit(edge.second.file, edge.second.line, "lockgraph-cycle", message);
+  }
+
+  for (const PendingDiag& diag : state.cv_diags) {
+    emit(diag.file, diag.line, diag.rule, diag.message);
+  }
+
+  for (const auto& entry : state.writes) {
+    const std::vector<WriteSite>& sites = entry.second;
+    std::map<std::string, int> votes;
+    int locked_count = 0;
+    for (const WriteSite& site : sites) {
+      if (site.locked) {
+        ++locked_count;
+        ++votes[site.lock_id];
+      }
+    }
+    if (locked_count == 0 || locked_count == static_cast<int>(sites.size())) {
+      continue;  // consistently unlocked (not ours to judge) or consistently locked
+    }
+    std::string dominant;
+    int best = 0;
+    for (const auto& vote : votes) {  // map order: ties break lexicographically
+      if (vote.second > best) {
+        best = vote.second;
+        dominant = vote.first;
+      }
+    }
+    std::ostringstream message;
+    message << "field '" << entry.first.first << "::" << entry.first.second
+            << "' is written here without holding '" << dominant << "' (" << locked_count
+            << " of " << sites.size()
+            << " writes hold it); guard the write or suppress with "
+               "allow(lockgraph-unguarded-field)";
+    for (const WriteSite& site : sites) {
+      if (!site.locked) {
+        emit(site.file, site.line, "lockgraph-unguarded-field", message.str());
+      }
+    }
+  }
+
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+            });
+  return diagnostics;
+}
+
+}  // namespace
+
+const std::vector<std::string>& LockgraphRules() {
+  static const std::vector<std::string>* rules = new std::vector<std::string>{
+      "lockgraph-cycle",
+      "lockgraph-cv-wait",
+      "lockgraph-unguarded-field",
+  };
+  return *rules;
+}
+
+void LockgraphRun::SetRuleFilter(const std::string& rule) { rule_filter_ = rule; }
+
+void LockgraphRun::AddFile(const std::string& path, const std::string& content) {
+  files_.push_back(FileEntry{path, content});
+}
+
+std::vector<Diagnostic> LockgraphRun::Run() {
+  std::map<std::string, StrippedSource> stripped;
+  for (const FileEntry& file : files_) {
+    stripped[file.path] = StripSource(file.content);
+  }
+  GlobalState state;
+  for (const FileEntry& file : files_) {
+    ClassScanner scanner(state, file.path);
+    scanner.Walk(stripped[file.path].lines);
+  }
+  for (const FileEntry& file : files_) {
+    FunctionScanner scanner(state, file.path);
+    scanner.Walk(stripped[file.path].lines);
+  }
+  return Report(state, rule_filter_, stripped);
+}
+
+std::vector<Diagnostic> LockgraphTree(const std::string& root,
+                                      const std::vector<std::string>& dirs,
+                                      const std::string& rule_filter,
+                                      int* out_files_scanned) {
+  LockgraphRun run;
+  run.SetRuleFilter(rule_filter);
+  int scanned = 0;
+  for (const std::string& relative : ListSourceFiles(root, dirs)) {
+    run.AddFile(relative, ReadSourceFile(root, relative));
+    ++scanned;
+  }
+  if (out_files_scanned != nullptr) {
+    *out_files_scanned = scanned;
+  }
+  return run.Run();
+}
+
+}  // namespace lint
+}  // namespace cedar

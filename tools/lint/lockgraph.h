@@ -1,0 +1,91 @@
+// Cross-TU lock-discipline analyzer ("lockgraph"), DESIGN.md §12.
+//
+// A lexical pass over the whole tree (same stripped-source lexer as the lint
+// pass) that models lock acquisition order globally — something clang's
+// per-TU -Wthread-safety cannot see. It extracts, per translation unit:
+//
+//   * mutex declarations (std::mutex, cedar::Mutex) — class members,
+//     namespace-scope globals, and locals;
+//   * RAII acquisitions (std::lock_guard / unique_lock / scoped_lock and
+//     cedar::MutexLock) with brace-matched scope nesting, plus manual
+//     guard.unlock() releases;
+//   * condition-variable waits (std::condition_variable[_any]::wait* and
+//     cedar::CondVar::Wait);
+//   * CEDAR_REQUIRES(...) annotations on function heads, which seed the
+//     held-lock set so callee bodies are analyzed in their true context;
+//   * writes to member fields of classes that own a mutex.
+//
+// From these it builds one global lock-acquisition-order graph (edge A→B
+// whenever B is acquired while A is held) and reports:
+//
+//   lockgraph-cycle           an acquisition edge that closes a cycle in the
+//                             global order graph — a potential deadlock. The
+//                             diagnostic points at the witness acquisition.
+//   lockgraph-cv-wait         a condition-variable wait performed while a
+//                             lock other than the one being waited on is
+//                             held; the sleeping thread blocks that lock's
+//                             other waiters indefinitely.
+//   lockgraph-unguarded-field a member field of a mutex-owning class that is
+//                             written both under and outside its dominant
+//                             mutex (constructors, destructors, and lambda
+//                             bodies are exempt). Each unlocked write site is
+//                             flagged.
+//
+// Findings are suppressible with the standard markers on the witness line
+// (or the line above):  // cedar-lint: allow(lockgraph-cycle)
+// and file-wide with allow-file(...).
+//
+// The pass is heuristic by design: it trades soundness for zero build-time
+// cost and whole-program reach, and it deliberately resolves short type
+// names only when the match among mutex-owning classes is unique.
+
+#ifndef CEDAR_TOOLS_LINT_LOCKGRAPH_H_
+#define CEDAR_TOOLS_LINT_LOCKGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace cedar {
+namespace lint {
+
+// Stable list of lockgraph rule slugs (all prefixed "lockgraph-").
+const std::vector<std::string>& LockgraphRules();
+
+// One analyzer run over an explicit set of files. Add every file first (the
+// pass is cross-TU: edges discovered in one file close cycles in another),
+// then Run().
+class LockgraphRun {
+ public:
+  // Restrict output to one rule slug ("" = all rules).
+  void SetRuleFilter(const std::string& rule);
+
+  // Registers |content| under repo-relative |path|.
+  void AddFile(const std::string& path, const std::string& content);
+
+  // Runs extraction + graph analysis; returns diagnostics sorted by
+  // (file, line, rule). Idempotent.
+  std::vector<Diagnostic> Run();
+
+ private:
+  struct FileEntry {
+    std::string path;
+    std::string content;
+  };
+  std::string rule_filter_;
+  std::vector<FileEntry> files_;
+};
+
+// Convenience driver: runs the lockgraph pass over every .cc/.h beneath
+// |root|/|dirs| (same file set as LintTree). |rule_filter| as above;
+// |out_files_scanned| (optional) receives the file count.
+std::vector<Diagnostic> LockgraphTree(const std::string& root,
+                                      const std::vector<std::string>& dirs,
+                                      const std::string& rule_filter,
+                                      int* out_files_scanned);
+
+}  // namespace lint
+}  // namespace cedar
+
+#endif  // CEDAR_TOOLS_LINT_LOCKGRAPH_H_

@@ -1,0 +1,255 @@
+#include "tools/lint/stripped_source.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <utility>
+
+namespace cedar {
+namespace lint {
+namespace {
+
+void ParseAllowMarkers(const std::string& comment, int line, StrippedSource& out) {
+  static const std::regex kAllow("cedar-lint:\\s*(allow|allow-file)\\(([^)]*)\\)");
+  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
+       it != std::sregex_iterator(); ++it) {
+    const bool file_scope = (*it)[1].str() == "allow-file";
+    std::istringstream rules((*it)[2].str());
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      const size_t begin = rule.find_first_not_of(" \t");
+      const size_t end = rule.find_last_not_of(" \t");
+      if (begin == std::string::npos) {
+        continue;
+      }
+      rule = rule.substr(begin, end - begin + 1);
+      if (file_scope) {
+        out.file_allows.insert(rule);
+      } else {
+        out.line_allows[line].insert(rule);
+      }
+    }
+  }
+}
+
+// A '\'' right after an identifier or number is a C++14 digit separator
+// (1'000'000) or an apostrophe in prose, never a char-literal start.
+bool StartsCharLiteral(const std::string& line, size_t i) {
+  if (i == 0) {
+    return true;
+  }
+  const char prev = line[i - 1];
+  return !(std::isalnum(static_cast<unsigned char>(prev)) || prev == '_');
+}
+
+// When the '"' at position |i| opens a raw string literal, returns the length
+// of its prefix ("R", "u8R", "uR", "UR", or "LR") ending just before the
+// quote; 0 otherwise. Checking at the quote — rather than at the 'R' — is
+// what makes the encoding-prefixed forms work: in u8R"(..)" the 'R' is
+// preceded by an alphanumeric character, so an R-anchored test cannot tell
+// it from the tail of an identifier.
+size_t RawStringPrefixLength(const std::string& line, size_t i) {
+  if (i == 0 || line[i - 1] != 'R') {
+    return 0;
+  }
+  size_t start = i - 1;  // position of the 'R'
+  if (start >= 2 && line[start - 2] == 'u' && line[start - 1] == '8') {
+    start -= 2;
+  } else if (start >= 1 &&
+             (line[start - 1] == 'u' || line[start - 1] == 'U' || line[start - 1] == 'L')) {
+    start -= 1;
+  }
+  if (start > 0) {
+    const char before = line[start - 1];
+    if (std::isalnum(static_cast<unsigned char>(before)) || before == '_') {
+      return 0;  // identifier tail (e.g. FOOBAR"...), not a raw literal
+    }
+  }
+  return i - start;
+}
+
+}  // namespace
+
+StrippedSource StripSource(const std::string& content) {
+  StrippedSource out;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;       // for R"delim( ... )delim"
+  std::string comment_buffer;  // text of the comment currently being read
+  int comment_start_line = 1;
+
+  std::vector<std::string> raw_lines;
+  {
+    std::istringstream in(content);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      raw_lines.push_back(line);
+    }
+  }
+
+  auto flush_comment = [&](int end_line) {
+    // A line allow applies to the line the comment *ends* on (trailing
+    // comments) which is also where a full-line comment sits.
+    ParseAllowMarkers(comment_buffer, end_line, out);
+    (void)comment_start_line;
+    comment_buffer.clear();
+  };
+
+  for (size_t line_index = 0; line_index < raw_lines.size(); ++line_index) {
+    const std::string& line = raw_lines[line_index];
+    const int line_number = static_cast<int>(line_index) + 1;
+    std::string stripped(line.size(), ' ');
+
+    if (state == State::kLineComment) {  // line comments never span lines
+      state = State::kCode;
+    }
+
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            comment_start_line = line_number;
+            comment_buffer.append(line.substr(i + 2));
+            i = line.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            comment_start_line = line_number;
+            ++i;
+          } else if (c == '"' && RawStringPrefixLength(line, i) > 0) {
+            // The prefix characters were already copied through as code; the
+            // literal body is blanked until the matching )delim" appears.
+            const size_t paren = line.find('(', i + 1);
+            raw_delim = ")";
+            if (paren != std::string::npos) {
+              raw_delim.append(line, i + 1, paren - i - 1);
+            }
+            raw_delim.push_back('"');
+            state = State::kRawString;
+            stripped[i] = '"';
+            i = paren == std::string::npos ? line.size() : paren;
+          } else if (c == '"') {
+            state = State::kString;
+            stripped[i] = '"';
+          } else if (c == '\'' && StartsCharLiteral(line, i)) {
+            state = State::kChar;
+            stripped[i] = '\'';
+          } else {
+            stripped[i] = c;
+          }
+          break;
+        case State::kLineComment:
+          break;  // unreachable: handled at line start / via i = line.size()
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            flush_comment(line_number);
+            ++i;
+          } else {
+            comment_buffer.push_back(c);
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+            stripped[i] = '"';
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+            stripped[i] = '\'';
+          }
+          break;
+        case State::kRawString: {
+          const size_t end = line.find(raw_delim, i);
+          if (end == std::string::npos) {
+            i = line.size();
+          } else {
+            i = end + raw_delim.size() - 1;
+            stripped[i] = '"';
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+
+    if (state == State::kLineComment) {
+      flush_comment(line_number);
+    } else if (state == State::kBlockComment) {
+      comment_buffer.push_back('\n');
+    }
+    out.lines.push_back(std::move(stripped));
+  }
+  if (state == State::kBlockComment) {
+    flush_comment(static_cast<int>(raw_lines.size()));
+  }
+  return out;
+}
+
+bool IsAllowed(const StrippedSource& source, int line, const std::string& rule) {
+  if (source.file_allows.count(rule) != 0) {
+    return true;
+  }
+  for (int candidate : {line, line - 1}) {
+    auto it = source.line_allows.find(candidate);
+    if (it != source.line_allows.end() && it->second.count(rule) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> ListSourceFiles(const std::string& root,
+                                         const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string extension = entry.path().extension().string();
+      if (extension != ".cc" && extension != ".h") {
+        continue;
+      }
+      const std::string relative = fs::relative(entry.path(), fs::path(root)).generic_string();
+      // Fixture files violate rules on purpose; build trees hold generated
+      // code we do not own.
+      if (relative.find("lint_fixtures") != std::string::npos ||
+          relative.find("build") == 0 || relative.find("/build/") != std::string::npos) {
+        continue;
+      }
+      paths.push_back(relative);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::string ReadSourceFile(const std::string& root, const std::string& relative) {
+  std::ifstream in(std::filesystem::path(root) / relative, std::ios::binary);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+}  // namespace lint
+}  // namespace cedar
